@@ -1,0 +1,61 @@
+// Command mimdraid runs the paper's evaluation experiments against the
+// simulated array and prints the resulting tables and figure data.
+//
+// Usage:
+//
+//	mimdraid -list
+//	mimdraid -exp fig6-cello-base
+//	mimdraid -exp all -trace-ios 10000 -iometer-ios 8000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "", "experiment name, or 'all'")
+		list       = flag.Bool("list", false, "list experiment names")
+		traceIOs   = flag.Int("trace-ios", 3000, "I/Os per macro (trace replay) data point")
+		iometerIOs = flag.Int("iometer-ios", 2500, "I/Os per micro (closed loop) data point")
+		seed       = flag.Int64("seed", 1, "random seed")
+		format     = flag.String("format", "table", "figure output format: table | csv")
+		timing     = flag.Bool("time", false, "print wall time per experiment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: mimdraid -exp <name>|all   (or -list)")
+		os.Exit(2)
+	}
+	cfg := experiments.Config{TraceIOs: *traceIOs, IometerIOs: *iometerIOs, Seed: *seed}
+	experiments.Format = *format
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if *timing {
+			fmt.Printf("  [%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

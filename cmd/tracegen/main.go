@@ -1,0 +1,57 @@
+// Command tracegen emits a synthetic workload trace (Cello-base,
+// Cello-disk6, or TPC-C profile) in the repository's text trace format.
+//
+// Usage:
+//
+//	tracegen -workload cello-base -duration 1h -seed 7 > cello.trace
+//	tracegen -workload tpcc -ios 50000 > tpcc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "cello-base", "cello-base | cello-disk6 | tpcc")
+		duration = flag.Duration("duration", 0, "trace duration (overrides -ios)")
+		ios      = flag.Int("ios", 10000, "approximate I/O count (used when -duration is 0)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		stats    = flag.Bool("stats", false, "print Table-3 statistics to stderr")
+	)
+	flag.Parse()
+
+	var p tracegen.Params
+	switch *workload {
+	case "cello-base":
+		p = tracegen.CelloBase(*seed)
+	case "cello-disk6":
+		p = tracegen.CelloDisk6(*seed)
+	case "tpcc":
+		p = tracegen.TPCC(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	if *duration > 0 {
+		p = p.WithDuration(des.Time(duration.Microseconds()))
+	} else {
+		p = p.WithDuration(des.Time(float64(*ios) / p.MeanIOPS * float64(time.Second.Microseconds())))
+	}
+	tr := tracegen.Generate(p)
+	if err := tr.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *stats {
+		s := tr.ComputeStats()
+		fmt.Fprintf(os.Stderr, "ios=%d rate=%.2f/s reads=%.1f%% async=%.1f%% L=%.2f raw=%.2f%%\n",
+			s.IOs, s.AvgIOPS, s.ReadFrac*100, s.AsyncFrac*100, s.SeekLocality, s.RAWFrac*100)
+	}
+}

@@ -1,0 +1,107 @@
+package mimdraid_test
+
+import (
+	"fmt"
+
+	mimdraid "repro"
+)
+
+// Build a six-disk SR-Array and read from it.
+func Example() {
+	sim := mimdraid.NewSim()
+	arr, err := mimdraid.New(sim, mimdraid.Options{
+		Config:      mimdraid.SRArray(2, 3), // 2-way stripe x 3 rotational replicas
+		DataSectors: 1 << 21,
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := arr.Read(4096, 8, func(r mimdraid.Result) {
+		fmt.Printf("read %d sectors on a %v array\n", r.Count, arr.Layout().Cfg)
+	}); err != nil {
+		panic(err)
+	}
+	sim.Run()
+	// Output: read 8 sectors on a 2x3x1 array
+}
+
+// Ask the paper's models for the best configuration of a disk budget.
+func ExampleRecommend() {
+	spec := mimdraid.ST39133LWV()
+	// A read-mostly file-system workload with seek locality 4.14 on six
+	// disks: the paper's Cello case.
+	cfg, err := mimdraid.Recommend(spec, 6, mimdraid.Workload{P: 1, Q: 1, L: 4.14})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cfg)
+	// A workload dominated by foreground writes cannot benefit from
+	// replication.
+	cfg, err = mimdraid.Recommend(spec, 6, mimdraid.Workload{P: 0.4, Q: 1, L: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cfg)
+	// Output:
+	// 2x3x1
+	// 6x1x1
+}
+
+// Replay a synthetic trace with the published Cello statistics.
+func ExampleReplay() {
+	sim := mimdraid.NewSim()
+	tr := mimdraid.CelloBaseTrace(1, 300)
+	arr, err := mimdraid.New(sim, mimdraid.Options{
+		Config:      mimdraid.SRArray(2, 3),
+		DataSectors: tr.DataSectors,
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := mimdraid.Replay(sim, arr, tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed all: %v, saturated: %v\n", res.Completed == len(tr.Records), res.Saturated)
+	// Output: completed all: true, saturated: false
+}
+
+// Drive an array with an Iometer-style closed loop.
+func ExampleRunClosedLoop() {
+	sim := mimdraid.NewSim()
+	arr, err := mimdraid.New(sim, mimdraid.Options{Config: mimdraid.Striping(4), Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	res, err := mimdraid.RunClosedLoop(sim, arr, mimdraid.ClosedLoop{
+		ReadFrac:    1,
+		Sectors:     1,
+		Outstanding: 8,
+		Locality:    3,
+		Seed:        2,
+	}, 500)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed %d requests, throughput positive: %v\n", res.Completed, res.IOPS > 0)
+	// Output: completed 500 requests, throughput positive: true
+}
+
+// Watch a workload online and get reconfiguration advice.
+func ExampleAdvisor() {
+	adv := mimdraid.NewAdvisor(1 << 24)
+	// A highly local, read-only stream.
+	off := int64(0)
+	for i := 0; i < 2000; i++ {
+		off = (off + 96) % (1 << 24)
+		adv.Observe(mimdraid.AdvisorObservation{Off: off, Count: 8})
+	}
+	cfg, err := adv.Recommend(mimdraid.ST39133LWV(), 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("local reads on 12 disks -> %v (p=%.1f)\n", cfg, adv.P())
+	// Output: local reads on 12 disks -> 2x6x1 (p=1.0)
+}

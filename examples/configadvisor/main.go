@@ -1,0 +1,67 @@
+// Configadvisor answers the paper's "aspect ratio question": given a
+// budget of disks and a workload profile, how should the array trade
+// capacity for performance? It sweeps disk budgets and workload parameters
+// and prints the model-recommended configuration with its predicted
+// latency (Section 2's models, including the integer-factor and Dr<=6
+// constraints).
+package main
+
+import (
+	"fmt"
+
+	mimdraid "repro"
+)
+
+func main() {
+	spec := mimdraid.ST39133LWV()
+
+	fmt.Println("Recommended Ds x Dr x Dm per disk budget and workload")
+	fmt.Println("(p = fraction of I/Os not forcing foreground propagation,")
+	fmt.Println(" q = per-disk queue length, L = seek locality index)")
+	fmt.Println()
+
+	workloads := []struct {
+		name string
+		w    mimdraid.Workload
+	}{
+		{"file system (Cello base: L=4.14)", mimdraid.Workload{P: 1, Q: 1, L: 4.14}},
+		{"news spool (Cello disk6: L=16.67)", mimdraid.Workload{P: 1, Q: 1, L: 16.67}},
+		{"OLTP (TPC-C: L=1.04)", mimdraid.Workload{P: 1, Q: 1, L: 1.04}},
+		{"OLTP, busy (q=8 per disk)", mimdraid.Workload{P: 1, Q: 8, L: 1.04}},
+		{"write-heavy, no idle (p=0.6)", mimdraid.Workload{P: 0.6, Q: 1, L: 1.04}},
+		{"write-dominated (p=0.4)", mimdraid.Workload{P: 0.4, Q: 1, L: 1.04}},
+	}
+
+	for _, wl := range workloads {
+		fmt.Printf("%s\n", wl.name)
+		fmt.Printf("  %-8s %-10s %-14s %-14s %s\n", "disks", "config", "predicted", "striping", "speedup")
+		for _, d := range []int{2, 4, 6, 9, 12, 24, 36} {
+			cfg, err := mimdraid.Recommend(spec, d, wl.w)
+			if err != nil {
+				panic(err)
+			}
+			pred := mimdraid.PredictLatency(spec, cfg, wl.w)
+			stripe := mimdraid.PredictLatency(spec, mimdraid.Striping(d), wl.w)
+			fmt.Printf("  %-8d %-10v %-14v %-14v %.2fx\n", d, cfg, pred, stripe, float64(stripe)/float64(pred))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Rule of thumb (Section 2.6): with D disks, the overhead-independent")
+	fmt.Println("part of the response time improves by about sqrt(D):")
+	w := mimdraid.Workload{P: 1, Q: 1, L: 1}
+	base := mimdraid.PredictLatency(spec, mustRec(spec, 1, w), w)
+	for _, d := range []int{1, 4, 9, 16, 36} {
+		cfg := mustRec(spec, d, w)
+		pred := mimdraid.PredictLatency(spec, cfg, w)
+		fmt.Printf("  D=%-3d %-8v latency %-10v improvement %.2fx\n", d, cfg, pred, float64(base)/float64(pred))
+	}
+}
+
+func mustRec(spec mimdraid.DiskSpec, d int, w mimdraid.Workload) mimdraid.Config {
+	cfg, err := mimdraid.Recommend(spec, d, w)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a six-disk SR-Array (2-way striping x 3 rotational
+// replicas), drive it with a read-mostly closed loop, and compare against
+// plain striping and RAID-10 on the same spindle budget.
+package main
+
+import (
+	"fmt"
+
+	mimdraid "repro"
+)
+
+func main() {
+	// The workload of the paper's micro-benchmarks: small requests, seek
+	// locality index 3, read-mostly.
+	load := mimdraid.ClosedLoop{
+		ReadFrac:    0.9,
+		Sectors:     8, // 4 KB
+		Outstanding: 2,
+		Locality:    3,
+		Seed:        7,
+	}
+
+	fmt.Println("Six disks, three ways to configure them:")
+	for _, cfg := range []mimdraid.Config{
+		mimdraid.SRArray(2, 3), // the paper's model picks 2x3 for loads like this
+		mimdraid.RAID10(6),     // 3-way stripe, 2-way mirror
+		mimdraid.Striping(6),   // conventional striping
+	} {
+		sim := mimdraid.NewSim()
+		arr, err := mimdraid.New(sim, mimdraid.Options{Config: cfg, Seed: 42})
+		if err != nil {
+			panic(err)
+		}
+		res, err := mimdraid.RunClosedLoop(sim, arr, load, 3000)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-6s  mean %8v   p95 %8v   %6.0f IOPS\n",
+			cfg, res.Mean, res.P95, res.IOPS)
+	}
+
+	// And the model agrees before any simulation runs:
+	spec := mimdraid.ST39133LWV()
+	w := mimdraid.Workload{P: 1, Q: 1, L: 3}
+	rec, err := mimdraid.Recommend(spec, 6, w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nmodel recommendation for 6 disks at L=3: %v "+
+		"(predicted overhead-independent latency %v vs %v for striping)\n",
+		rec,
+		mimdraid.PredictLatency(spec, rec, w),
+		mimdraid.PredictLatency(spec, mimdraid.Striping(6), w))
+}

@@ -1,0 +1,166 @@
+package advisor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/tracegen"
+)
+
+func feedTrace(m *Monitor, p tracegen.Params, ios int) {
+	d := des.Time(float64(ios) / p.MeanIOPS * 1e6)
+	tr := tracegen.Generate(p.WithDuration(d))
+	for _, r := range tr.Records {
+		m.Observe(Observation{Off: r.Off, Count: r.Count, Write: r.Write, Async: r.Async})
+	}
+}
+
+func TestNotReadyWithoutObservations(t *testing.T) {
+	m := NewMonitor(1 << 24)
+	if m.Ready() {
+		t.Fatal("ready with zero observations")
+	}
+	if _, err := m.Recommend(disk.ST39133LWV(), 6); err == nil {
+		t.Fatal("Recommend succeeded before ready")
+	}
+}
+
+func TestEstimatesMatchTraceStatistics(t *testing.T) {
+	p := tracegen.CelloBase(1)
+	m := NewMonitor(p.DataSectors)
+	feedTrace(m, p, 6000)
+	if !m.Ready() {
+		t.Fatal("not ready after 6000 observations")
+	}
+	if got := m.L(); math.Abs(got-p.Locality)/p.Locality > 0.4 {
+		t.Errorf("online L = %.2f, trace target %.2f", got, p.Locality)
+	}
+	// No forced propagation observed: p should be ~1.
+	if got := m.P(); got < 0.99 {
+		t.Errorf("online p = %.3f, want ~1 with no forced writes", got)
+	}
+}
+
+func TestRecommendMatchesOfflineOptimum(t *testing.T) {
+	spec := disk.ST39133LWV()
+	// Cello-profile stream on 6 disks: the paper's 2x3.
+	m := NewMonitor(tracegen.CelloBase(2).DataSectors)
+	feedTrace(m, tracegen.CelloBase(2), 6000)
+	cfg, err := m.Recommend(spec, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Ds != 2 || cfg.Dr != 3 {
+		t.Errorf("Cello recommendation %v, want 2x3x1", cfg)
+	}
+	// TPC-C-profile stream on 36 disks: the paper's 9x4.
+	m2 := NewMonitor(tracegen.TPCC(3).DataSectors)
+	feedTrace(m2, tracegen.TPCC(3), 6000)
+	cfg2, err := m2.Recommend(spec, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Ds != 9 || cfg2.Dr != 4 {
+		t.Errorf("TPC-C recommendation %v, want 9x4x1", cfg2)
+	}
+}
+
+func TestForcedWritesLowerP(t *testing.T) {
+	m := NewMonitor(1 << 24)
+	// 60% writes, all forced: p = 1 - 0.6 = 0.4 → optimizer must refuse
+	// replication.
+	for i := 0; i < 5000; i++ {
+		write := i%5 < 3
+		m.Observe(Observation{Off: int64(i * 1000 % (1 << 24)), Count: 8, Write: write, Forced: write})
+	}
+	if got := m.P(); math.Abs(got-0.4) > 0.05 {
+		t.Fatalf("p = %.3f, want ~0.4", got)
+	}
+	cfg, err := m.Recommend(disk.ST39133LWV(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dr != 1 {
+		t.Errorf("recommendation %v under write-dominated load, want pure striping", cfg)
+	}
+}
+
+func TestEstimatesTrackPhaseChanges(t *testing.T) {
+	m := NewMonitor(1 << 24)
+	// Phase 1: sequential-ish (high locality).
+	off := int64(0)
+	for i := 0; i < 4000; i++ {
+		off = (off + 64) % (1 << 24)
+		m.Observe(Observation{Off: off, Count: 8})
+	}
+	l1 := m.L()
+	// Phase 2: uniform random.
+	for i := 0; i < 8000; i++ {
+		m.Observe(Observation{Off: int64(i*2654435761) % (1 << 24), Count: 8})
+	}
+	l2 := m.L()
+	if l2 >= l1/4 {
+		t.Errorf("locality estimate did not track phase change: %.1f -> %.1f", l1, l2)
+	}
+	if l2 < 0.5 || l2 > 2 {
+		t.Errorf("uniform phase L = %.2f, want ~1", l2)
+	}
+}
+
+func TestDriftDetectsMisconfiguration(t *testing.T) {
+	spec := disk.ST39133LWV()
+	m := NewMonitor(tracegen.CelloBase(4).DataSectors)
+	feedTrace(m, tracegen.CelloBase(4), 6000)
+	// Running the recommended config: drift ~1.
+	rec, err := m.Recommend(spec, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := m.Drift(spec, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d0-1) > 1e-9 {
+		t.Errorf("drift of recommended config = %.3f, want 1", d0)
+	}
+	// Running plain striping under this read-mostly local load: the model
+	// says a reconfiguration wins meaningfully.
+	d1, err := m.Drift(spec, layout.Striping(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 < 1.3 {
+		t.Errorf("drift of striping = %.2f, want > 1.3 (reconfiguration clearly worthwhile)", d1)
+	}
+	// Neighboring aspect ratios sit near 1 (the paper's integer rounding
+	// is a heuristic, so slightly-below-1 is possible); nothing admissible
+	// should look dramatically better than the recommendation.
+	for _, cfg := range []layout.Config{layout.SRArray(3, 2), layout.SRArray(1, 6), layout.SRArray(6, 1)} {
+		d, err := m.Drift(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0.8 {
+			t.Errorf("drift of %v = %.3f — far below the recommendation, optimizer rule badly off", cfg, d)
+		}
+	}
+}
+
+func TestQueueEstimate(t *testing.T) {
+	m := NewMonitor(1 << 24)
+	for i := 0; i < 1000; i++ {
+		m.Observe(Observation{Off: int64(i), Count: 1, QueueDepth: 7})
+	}
+	if q := m.Q(); math.Abs(q-7) > 0.5 {
+		t.Errorf("q = %.2f, want ~7", q)
+	}
+	// Q floors at 1 for idle systems.
+	m2 := NewMonitor(1 << 24)
+	m2.Observe(Observation{Off: 1, Count: 1, QueueDepth: 0})
+	if m2.Q() != 1 {
+		t.Errorf("idle q = %v, want 1", m2.Q())
+	}
+}

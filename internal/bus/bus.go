@@ -1,0 +1,312 @@
+// Package bus models the host-visible interface to a drive: LBA-addressed
+// commands submitted one at a time, with completion callbacks delivered
+// through the simulation kernel.
+//
+// A Drive runs in one of two modes, mirroring the paper's prototype
+// architecture (Figure 4):
+//
+//   - Simulator mode: command overheads are fixed and the host may query
+//     exact mechanical timing. This is the paper's integrated simulator.
+//   - Prototype mode: every command pays a stochastic OS + SCSI overhead
+//     before and after the mechanical service, the spindle speed is offset
+//     from nominal, and the host sees only noisy completion timestamps. The
+//     calibration layer (package calib) must estimate rotational position
+//     through this noise, exactly as the real MimdRAID driver did.
+package bus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/des"
+	"repro/internal/disk"
+)
+
+// Op is a command opcode.
+type Op int
+
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+func (o Op) String() string {
+	if o == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Command is one LBA-addressed transfer.
+type Command struct {
+	Op    Op
+	LBA   int64
+	Count int // sectors
+}
+
+// Completion reports a finished command. Observed is the host-visible
+// completion timestamp (includes completion-side overhead and, in
+// prototype mode, jitter). Mechanical timing fields are the ground truth
+// the simulator knows; prototype-mode hosts must not use them for
+// scheduling (the calibration layer exists to estimate them) but tests and
+// accuracy reports may.
+type Completion struct {
+	Cmd       Command
+	Submitted des.Time // when Submit was called
+	Observed  des.Time // host-visible completion time
+
+	// Ground truth, for validation only in prototype mode.
+	MechStart des.Time // when the mechanism began positioning
+	MechDone  des.Time // when the last sector left the media
+	Timing    disk.Timing
+	ArmAfter  disk.State
+}
+
+// ServiceTime is the host-observable service duration.
+func (c Completion) ServiceTime() des.Time { return c.Observed - c.Submitted }
+
+// NoiseModel parameterizes prototype-mode command overheads. Pre covers
+// host submit path + command decode (before the mechanism moves); Post
+// covers completion interrupt + status delivery. Jitter values are means of
+// exponential components; outliers model rare scheduling glitches.
+type NoiseModel struct {
+	PreBase     des.Time
+	PreJitter   des.Time
+	PostBase    des.Time
+	PostJitter  des.Time
+	OutlierProb float64
+	OutlierMean des.Time
+}
+
+// DefaultNoise returns overheads representative of the paper's Windows
+// 2000 + Adaptec 39160 platform: a couple hundred microseconds of fixed
+// path length, tens of microseconds of jitter, and rare millisecond-scale
+// outliers.
+func DefaultNoise() NoiseModel {
+	return NoiseModel{
+		PreBase:     120 * des.Microsecond,
+		PreJitter:   15 * des.Microsecond,
+		PostBase:    90 * des.Microsecond,
+		PostJitter:  20 * des.Microsecond,
+		OutlierProb: 0.001,
+		OutlierMean: 1500 * des.Microsecond,
+	}
+}
+
+func (n NoiseModel) draw(rng *rand.Rand, base, jitter des.Time) des.Time {
+	d := base + des.Time(rng.ExpFloat64()*float64(jitter))
+	if n.OutlierProb > 0 && rng.Float64() < n.OutlierProb {
+		d += des.Time(rng.ExpFloat64() * float64(n.OutlierMean))
+	}
+	return d
+}
+
+// Drive is one disk behind the bus. By default it services a single
+// command at a time — queueing and scheduling are the host's job (the
+// paper's drive queues live in the array layer). With EnableTCQ it
+// accepts up to a depth of tagged commands and schedules them internally
+// by shortest access time, the "intelligent internal scheduling" of
+// firmware like the HP C2490A that the paper's related-work section
+// discusses: the drive knows its own mechanics exactly, but it cannot
+// choose among inter-disk or rotational replicas — that knowledge lives
+// in the host.
+type Drive struct {
+	Name string
+
+	sim   *des.Sim
+	dsk   *disk.Disk
+	noise *NoiseModel // nil in simulator mode
+	rng   *rand.Rand
+
+	// CmdOverhead is the fixed controller cost per command in simulator
+	// mode (prototype mode replaces it with the noise model).
+	CmdOverhead des.Time
+	// XferRate is the bus transfer rate in bytes per microsecond
+	// (160 MB/s ≈ 167.8 B/us).
+	XferRate float64
+
+	arm  disk.State
+	busy bool
+
+	// Tagged command queueing.
+	tcqDepth int
+	tcq      []tcqEntry
+
+	// Stats
+	Commands int64
+	BusyTime des.Time
+}
+
+type tcqEntry struct {
+	cmd  Command
+	done func(Completion)
+}
+
+const defaultXferRate = 160e6 / 1e6 // 160 MB/s in bytes per microsecond
+
+// NewSim returns a drive in simulator mode.
+func NewSim(sim *des.Sim, dsk *disk.Disk) *Drive {
+	return &Drive{
+		Name:        dsk.Name,
+		sim:         sim,
+		dsk:         dsk,
+		CmdOverhead: 150 * des.Microsecond,
+		XferRate:    defaultXferRate,
+	}
+}
+
+// NewPrototype returns a drive in prototype mode with the given noise
+// model and seed. Callers typically also build the disk with a nonzero
+// RSkew and random Phase so that rotation must genuinely be estimated.
+func NewPrototype(sim *des.Sim, dsk *disk.Disk, noise NoiseModel, seed int64) *Drive {
+	return &Drive{
+		Name:     dsk.Name,
+		sim:      sim,
+		dsk:      dsk,
+		noise:    &noise,
+		rng:      rand.New(rand.NewSource(seed)),
+		XferRate: defaultXferRate,
+	}
+}
+
+// Prototype reports whether the drive hides its mechanics behind noise.
+func (d *Drive) Prototype() bool { return d.noise != nil }
+
+// Geometry exposes the drive's layout. The real prototype obtained this via
+// Worthington-style extraction (see calib.ExtractGeometry, which recovers
+// it from timing probes); the array layer consumes it directly.
+func (d *Drive) Geometry() *disk.Geometry { return d.dsk.Geom }
+
+// Disk exposes the full mechanical model. Only simulator-mode components
+// and validation code may call this; prototype-mode scheduling must go
+// through a calibrated estimator.
+func (d *Drive) Disk() *disk.Disk { return d.dsk }
+
+// ArmState returns the last known arm position. The host can track this in
+// both modes because it chooses every target; rotational position is what
+// prototype mode hides.
+func (d *Drive) ArmState() disk.State { return d.arm }
+
+// Busy reports whether a command is in flight.
+func (d *Drive) Busy() bool { return d.busy }
+
+// EnableTCQ turns on tagged command queueing with the given depth.
+func (d *Drive) EnableTCQ(depth int) {
+	if depth < 1 {
+		panic("bus: TCQ depth must be at least 1")
+	}
+	d.tcqDepth = depth
+}
+
+// Free reports how many more commands the drive accepts right now: the
+// remaining tag slots under TCQ, or one-if-idle without it.
+func (d *Drive) Free() int {
+	if d.tcqDepth == 0 {
+		if d.busy {
+			return 0
+		}
+		return 1
+	}
+	used := len(d.tcq)
+	if d.busy {
+		used++
+	}
+	if used >= d.tcqDepth {
+		return 0
+	}
+	return d.tcqDepth - used
+}
+
+// Idle reports that nothing is in flight or queued inside the drive.
+func (d *Drive) Idle() bool { return !d.busy && len(d.tcq) == 0 }
+
+// pickTCQ removes and returns the queued command with the shortest access
+// time from the current arm state — the drive's firmware scheduler, which
+// has perfect knowledge of its own mechanics.
+func (d *Drive) pickTCQ() tcqEntry {
+	best, bestT := 0, des.Time(0)
+	for i, e := range d.tcq {
+		t, err := d.dsk.AccessTime(d.arm, physOf(d.dsk, e.cmd), d.sim.Now())
+		if err != nil {
+			panic(err)
+		}
+		if i == 0 || t < bestT {
+			best, bestT = i, t
+		}
+	}
+	e := d.tcq[best]
+	d.tcq = append(d.tcq[:best], d.tcq[best+1:]...)
+	return e
+}
+
+func physOf(dsk *disk.Disk, cmd Command) disk.Request {
+	p, err := dsk.Geom.LBAToPhys(cmd.LBA)
+	if err != nil {
+		panic(err)
+	}
+	return disk.Request{Start: p, Count: cmd.Count, Write: cmd.Op == OpWrite}
+}
+
+// Submit starts a command. Without TCQ the drive must be idle — the host
+// owns queueing. With TCQ, commands beyond the one in flight are accepted
+// into the drive's internal queue (up to the tag depth) and scheduled by
+// the firmware. done is invoked through the simulator at the
+// host-observed completion time.
+func (d *Drive) Submit(cmd Command, done func(Completion)) {
+	if cmd.Count <= 0 {
+		panic(fmt.Sprintf("bus: command with count %d", cmd.Count))
+	}
+	if d.busy {
+		if d.Free() == 0 {
+			panic(fmt.Sprintf("bus: Submit on busy drive %s with no free tags", d.Name))
+		}
+		d.tcq = append(d.tcq, tcqEntry{cmd: cmd, done: done})
+		return
+	}
+	d.start(cmd, done)
+}
+
+// start runs one command on the idle mechanism.
+func (d *Drive) start(cmd Command, done func(Completion)) {
+	d.busy = true
+	d.Commands++
+	now := d.sim.Now()
+
+	var pre, post des.Time
+	if d.noise != nil {
+		pre = d.noise.draw(d.rng, d.noise.PreBase, d.noise.PreJitter)
+		post = d.noise.draw(d.rng, d.noise.PostBase, d.noise.PostJitter)
+	} else {
+		pre = d.CmdOverhead / 2
+		post = d.CmdOverhead / 2
+	}
+	// Bus transfer overlaps with media transfer on reads of more than one
+	// sector; model it as an additive tail for the final sector's worth.
+	xfer := des.Time(float64(disk.SectorSize) / d.XferRate)
+
+	mechStart := now + pre
+	tm, err := d.dsk.ServiceLBA(d.arm, cmd.LBA, cmd.Count, cmd.Op == OpWrite, mechStart)
+	if err != nil {
+		panic(fmt.Sprintf("bus: %s: %v", d.Name, err))
+	}
+	observed := tm.Done + xfer + post
+	comp := Completion{
+		Cmd:       cmd,
+		Submitted: now,
+		Observed:  observed,
+		MechStart: mechStart,
+		MechDone:  tm.Done,
+		Timing:    tm,
+		ArmAfter:  tm.End,
+	}
+	d.sim.At(observed, func() {
+		d.arm = tm.End
+		d.busy = false
+		d.BusyTime += observed - now
+		if len(d.tcq) > 0 {
+			next := d.pickTCQ()
+			d.start(next.cmd, next.done)
+		}
+		done(comp)
+	})
+}

@@ -1,0 +1,224 @@
+package bus
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/disk"
+)
+
+func simDrive(t testing.TB) (*des.Sim, *Drive) {
+	t.Helper()
+	sim := des.New()
+	return sim, NewSim(sim, disk.ST39133LWV().MustNew())
+}
+
+func TestSubmitCompletes(t *testing.T) {
+	sim, drv := simDrive(t)
+	var comp Completion
+	done := false
+	drv.Submit(Command{Op: OpRead, LBA: 12345, Count: 8}, func(c Completion) {
+		comp = c
+		done = true
+	})
+	if !drv.Busy() {
+		t.Fatal("drive not busy after Submit")
+	}
+	sim.Run()
+	if !done {
+		t.Fatal("completion never fired")
+	}
+	if drv.Busy() {
+		t.Fatal("drive still busy after completion")
+	}
+	if comp.Observed <= comp.Submitted {
+		t.Fatal("non-positive service time")
+	}
+	if comp.ServiceTime() > 25000 {
+		t.Fatalf("service %v implausibly long", comp.ServiceTime())
+	}
+	if drv.Commands != 1 {
+		t.Fatalf("Commands = %d", drv.Commands)
+	}
+}
+
+func TestSubmitWhileBusyPanics(t *testing.T) {
+	_, drv := simDrive(t)
+	drv.Submit(Command{Op: OpRead, LBA: 0, Count: 1}, func(Completion) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double Submit")
+		}
+	}()
+	drv.Submit(Command{Op: OpRead, LBA: 1, Count: 1}, func(Completion) {})
+}
+
+func TestBadCountPanics(t *testing.T) {
+	_, drv := simDrive(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero count")
+		}
+	}()
+	drv.Submit(Command{Op: OpRead, LBA: 0, Count: 0}, func(Completion) {})
+}
+
+func TestArmStateTracksCompletions(t *testing.T) {
+	sim, drv := simDrive(t)
+	lba := int64(1 << 22)
+	want, err := drv.Geometry().LBAToPhys(lba + 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.Submit(Command{Op: OpRead, LBA: lba, Count: 8}, func(Completion) {})
+	sim.Run()
+	if got := drv.ArmState().Cyl; got != want.Cyl {
+		t.Fatalf("arm at cylinder %d, want %d", got, want.Cyl)
+	}
+}
+
+func TestPrototypeDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) des.Time {
+		sim := des.New()
+		drv := NewPrototype(sim, disk.ST39133LWV().MustNew(), DefaultNoise(), seed)
+		var total des.Time
+		for i := 0; i < 20; i++ {
+			done := false
+			drv.Submit(Command{Op: OpRead, LBA: int64(i) * 9973, Count: 4}, func(c Completion) {
+				total += c.ServiceTime()
+				done = true
+			})
+			for !done {
+				sim.Step()
+			}
+		}
+		return total
+	}
+	if a, b := run(5), run(5); a != b {
+		t.Fatalf("same seed, different timing: %v vs %v", a, b)
+	}
+	if a, b := run(5), run(6); a == b {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestPrototypeAddsOverheadOverSimMode(t *testing.T) {
+	// The same command stream should take longer on average in prototype
+	// mode (jittered overheads exceed the fixed CmdOverhead).
+	mean := func(proto bool) des.Time {
+		sim := des.New()
+		var drv *Drive
+		d := disk.ST39133LWV().MustNew()
+		if proto {
+			drv = NewPrototype(sim, d, DefaultNoise(), 1)
+		} else {
+			drv = NewSim(sim, d)
+		}
+		var total des.Time
+		const n = 200
+		for i := 0; i < n; i++ {
+			done := false
+			drv.Submit(Command{Op: OpRead, LBA: int64(i*7919) % d.Geom.TotalSectors(), Count: 1}, func(c Completion) {
+				total += c.ServiceTime()
+				done = true
+			})
+			for !done {
+				sim.Step()
+			}
+		}
+		return total / n
+	}
+	simMean := mean(false)
+	protoMean := mean(true)
+	if protoMean <= simMean {
+		t.Fatalf("prototype mean %v not above simulator mean %v", protoMean, simMean)
+	}
+}
+
+func TestWriteSlowerThanReadOnAverage(t *testing.T) {
+	sim, drv := simDrive(t)
+	measure := func(op Op) des.Time {
+		var total des.Time
+		const n = 300
+		for i := 0; i < n; i++ {
+			done := false
+			drv.Submit(Command{Op: op, LBA: int64(i*104729) % drv.Geometry().TotalSectors(), Count: 1}, func(c Completion) {
+				total += c.ServiceTime()
+				done = true
+			})
+			for !done {
+				sim.Step()
+			}
+		}
+		return total / n
+	}
+	r := measure(OpRead)
+	w := measure(OpWrite)
+	if w <= r {
+		t.Fatalf("write mean %v not above read mean %v (settle time missing?)", w, r)
+	}
+}
+
+func TestCompletionGroundTruthConsistent(t *testing.T) {
+	sim, drv := simDrive(t)
+	var comp Completion
+	drv.Submit(Command{Op: OpRead, LBA: 999, Count: 4}, func(c Completion) { comp = c })
+	sim.Run()
+	if comp.MechStart < comp.Submitted || comp.MechDone < comp.MechStart || comp.Observed < comp.MechDone {
+		t.Fatalf("inconsistent timeline: %+v", comp)
+	}
+	if comp.Timing.Done != comp.MechDone {
+		t.Fatal("Timing.Done disagrees with MechDone")
+	}
+}
+
+func TestTCQInternalScheduling(t *testing.T) {
+	sim, drv := simDrive(t)
+	drv.EnableTCQ(4)
+	if drv.Free() != 4 {
+		t.Fatalf("Free = %d, want 4", drv.Free())
+	}
+	// Submit four commands; the drive runs the first (it was idle) and
+	// then schedules the rest by access time from wherever the arm is.
+	var order []int64
+	lbas := []int64{100, 6_000_000, 200, 6_000_100}
+	for _, lba := range lbas {
+		lba := lba
+		drv.Submit(Command{Op: OpRead, LBA: lba, Count: 1}, func(Completion) {
+			order = append(order, lba)
+		})
+	}
+	if drv.Free() != 0 {
+		t.Fatalf("Free = %d after filling, want 0", drv.Free())
+	}
+	sim.Run()
+	if len(order) != 4 {
+		t.Fatalf("%d completions", len(order))
+	}
+	// The first command (LBA 100) starts immediately; with the arm still
+	// near the outer edge, the queued LBA 200 must beat both far commands
+	// despite arriving after one of them.
+	pos := map[int64]int{}
+	for i, l := range order {
+		pos[l] = i
+	}
+	if !(pos[200] < pos[6_000_000] && pos[200] < pos[6_000_100]) {
+		t.Fatalf("internal scheduling did not prefer the near command: %v", order)
+	}
+	if !drv.Idle() {
+		t.Fatal("drive not idle after drain")
+	}
+}
+
+func TestTCQOverflowPanics(t *testing.T) {
+	_, drv := simDrive(t)
+	drv.EnableTCQ(2)
+	drv.Submit(Command{Op: OpRead, LBA: 0, Count: 1}, func(Completion) {})
+	drv.Submit(Command{Op: OpRead, LBA: 1, Count: 1}, func(Completion) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on tag overflow")
+		}
+	}()
+	drv.Submit(Command{Op: OpRead, LBA: 2, Count: 1}, func(Completion) {})
+}

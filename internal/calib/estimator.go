@@ -1,0 +1,200 @@
+package calib
+
+import (
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/disk"
+)
+
+// AccessEstimator predicts the host-observed service time of a physical
+// request. Position-aware schedulers (SATF/RSATF) rank candidates with it,
+// and RLOOK/RSATF use it to choose among rotational replicas.
+type AccessEstimator interface {
+	// Access predicts the service time of req submitted at time now with
+	// the arm at st.
+	Access(st disk.State, req disk.Request, now des.Time) des.Time
+	// AccessRun predicts the total service time of a multi-extent run
+	// issued back-to-back (a replica fragmented at track boundaries). A
+	// fragmented replica costs per-command overheads and possible missed
+	// revolutions at every join, which is exactly what makes a contiguous
+	// replica preferable for large transfers.
+	AccessRun(st disk.State, extents []disk.Extent, write bool, now des.Time) des.Time
+	// RotationPeriod returns the (estimated) rotation period, used by
+	// schedulers for slack arithmetic and by models.
+	RotationPeriod() des.Time
+}
+
+// Exact is the simulator-mode estimator: it asks the mechanical model
+// directly and adds the fixed controller overhead. Predictions are perfect
+// by construction, which is what makes the integrated simulator useful as
+// a baseline for validating the prototype (paper Section 3.5).
+type Exact struct {
+	Dsk      *disk.Disk
+	Overhead des.Time // fixed per-command pre+post overhead
+}
+
+// Access implements AccessEstimator.
+func (e *Exact) Access(st disk.State, req disk.Request, now des.Time) des.Time {
+	t, err := e.Dsk.AccessTime(st, req, now+e.Overhead/2)
+	if err != nil {
+		// Scheduling should never construct invalid requests; an error here
+		// is a layout bug, not a runtime condition.
+		panic(err)
+	}
+	return t + e.Overhead
+}
+
+// AccessRun implements AccessEstimator by chaining the mechanical model
+// across the extents.
+func (e *Exact) AccessRun(st disk.State, extents []disk.Extent, write bool, now des.Time) des.Time {
+	start := now
+	for _, ext := range extents {
+		tm, err := e.Dsk.Service(st, disk.Request{Start: ext.Start, Count: ext.Count, Write: write}, now+e.Overhead/2)
+		if err != nil {
+			panic(err)
+		}
+		now = now + e.Overhead + tm.Total()
+		st = tm.End
+	}
+	return now - start
+}
+
+// RotationPeriod implements AccessEstimator.
+func (e *Exact) RotationPeriod() des.Time { return e.Dsk.R }
+
+// Tracked is the prototype-mode estimator: it composes the measured seek
+// curve, measured overheads, and the Tracker's rotation estimate. It never
+// consults the drive's true mechanical state.
+type Tracked struct {
+	Geom       *disk.Geometry
+	Seek       disk.SeekCurve
+	HeadSwitch des.Time
+	Pre, Post  des.Time // mean command overheads (Post includes bus transfer)
+	Trk        *Tracker
+	// Slack, if non-nil, contributes the conservative margin (in sectors)
+	// added ahead of the target: predictions inside the margin are treated
+	// as missing the target and costing a full extra rotation.
+	Slack *SlackController
+}
+
+// Access implements AccessEstimator.
+func (t *Tracked) Access(st disk.State, req disk.Request, now des.Time) des.Time {
+	r := t.Trk.R()
+	move := t.Seek.Time(req.Start.Cyl-st.Cyl, req.Write)
+	if req.Start.Head != st.Head && t.HeadSwitch > move {
+		move = t.HeadSwitch
+	}
+	arrive := now + t.Pre + move
+	target := t.Geom.SectorAngle(req.Start)
+	wait := t.Trk.TimeToAngle(arrive, target)
+	if t.Slack != nil {
+		margin := des.Time(float64(t.Slack.K()) * t.Geom.AngularWidth(req.Start.Cyl) * float64(r))
+		if wait < margin {
+			wait += r
+		}
+	}
+	xfer := t.transferTime(req)
+	return t.Pre + move + wait + xfer + t.Post
+}
+
+// transferTime estimates media transfer, charging head switches at track
+// boundaries. With correctly sized skews each boundary costs about the
+// skew angle.
+func (t *Tracked) transferTime(req disk.Request) des.Time {
+	r := t.Trk.R()
+	remaining := req.Count
+	cur := req.Start
+	var total des.Time
+	for remaining > 0 {
+		spt := t.Geom.SPTOf(cur.Cyl)
+		n := spt - cur.Sector
+		if n > remaining {
+			n = remaining
+		}
+		total += des.Time(float64(n) / float64(spt) * float64(r))
+		remaining -= n
+		if remaining > 0 {
+			z := t.Geom.Zones[t.Geom.ZoneIndexOf(cur.Cyl)]
+			total += des.Time(float64(z.TrackSkew) / float64(spt) * float64(r))
+			if cur.Head+1 < t.Geom.Heads {
+				cur = disk.Chs{Cyl: cur.Cyl, Head: cur.Head + 1}
+			} else {
+				cur = disk.Chs{Cyl: cur.Cyl + 1, Head: 0}
+			}
+		}
+	}
+	return total
+}
+
+// AccessRun implements AccessEstimator by chaining Access across the
+// extents with the arm state updated between them.
+func (t *Tracked) AccessRun(st disk.State, extents []disk.Extent, write bool, now des.Time) des.Time {
+	start := now
+	for _, ext := range extents {
+		now += t.Access(st, disk.Request{Start: ext.Start, Count: ext.Count, Write: write}, now)
+		st = disk.State{Cyl: ext.Start.Cyl, Head: ext.Start.Head}
+	}
+	return now - start
+}
+
+// RotationPeriod implements AccessEstimator.
+func (t *Tracked) RotationPeriod() des.Time { return t.Trk.R() }
+
+// PredictionRecord pairs a prediction with its measurement for accuracy
+// accounting (paper Table 2).
+type PredictionRecord struct {
+	Predicted, Measured des.Time
+}
+
+// Error returns measured minus predicted.
+func (p PredictionRecord) Error() des.Time { return p.Measured - p.Predicted }
+
+// IsRotationMiss reports whether the request lost (at least) a rotation
+// relative to the prediction.
+func (p PredictionRecord) IsRotationMiss(r des.Time) bool {
+	return float64(p.Error()) > 0.8*float64(r)
+}
+
+// AccuracyStats aggregates prediction records into the paper's Table 2
+// metrics.
+type AccuracyStats struct {
+	records []PredictionRecord
+}
+
+// Add appends a record.
+func (a *AccuracyStats) Add(rec PredictionRecord) { a.records = append(a.records, rec) }
+
+// Merge appends all of b's records.
+func (a *AccuracyStats) Merge(b *AccuracyStats) { a.records = append(a.records, b.records...) }
+
+// N returns the number of records.
+func (a *AccuracyStats) N() int { return len(a.records) }
+
+// Report computes miss rate, mean error, error standard deviation, mean
+// measured access time, and the demerit figure (RMS prediction error, after
+// Ruemmler & Wilkes).
+func (a *AccuracyStats) Report(r des.Time) (missRate float64, meanErr, stdErr, meanAccess, demerit des.Time) {
+	if len(a.records) == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	var sum, sumSq, acc float64
+	misses := 0
+	for _, rec := range a.records {
+		e := float64(rec.Error())
+		sum += e
+		sumSq += e * e
+		acc += float64(rec.Measured)
+		if rec.IsRotationMiss(r) {
+			misses++
+		}
+	}
+	n := float64(len(a.records))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return float64(misses) / n, des.Time(mean), des.Time(math.Sqrt(variance)),
+		des.Time(acc / n), des.Time(math.Sqrt(sumSq / n))
+}

@@ -1,0 +1,260 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bus"
+	"repro/internal/des"
+)
+
+// ExtractedGeometry is what timing-based extraction recovers about a drive
+// (paper Section 3.2: "we obtain information on disk zones, track skew,
+// bad sectors, and reserved sectors through a sequence of low-level disk
+// operations", after Worthington et al.).
+type ExtractedGeometry struct {
+	R          des.Time // rotation period
+	Heads      int      // surfaces per cylinder
+	TrackSkew  int      // sectors, at the probed (outer) zone
+	CylSkew    int      // sectors, at the probed (outer) zone
+	ZoneSPT    []int    // sectors per track, outer to inner
+	ZoneStarts []int64  // first LBA of each zone
+}
+
+// extractor bundles the probing state.
+type extractor struct {
+	sim  *des.Sim
+	drv  *bus.Drive
+	r    float64 // rotation period estimate
+	size int64   // total LBAs (from "read capacity")
+}
+
+// gapMod measures the rotational offset, as time in [0, R), between sector
+// base and sector base+k: it reads the pair back-to-back several times and
+// takes a circular median of the completion-gap residue mod R. Mechanical
+// completions of the two sectors are separated by their angular distance
+// plus whole rotations, so the residue isolates the angle.
+func (e *extractor) gapMod(base int64, k int64, trials int) float64 {
+	var vals []float64
+	for i := 0; i < trials; i++ {
+		a := read1(e.sim, e.drv, base)
+		b := read1(e.sim, e.drv, base+k)
+		g := math.Mod(float64(b.Observed-a.Observed), e.r)
+		if g < 0 {
+			g += e.r
+		}
+		vals = append(vals, g)
+	}
+	sort.Float64s(vals)
+	return circularMedian(vals, e.r)
+}
+
+// circularMedian takes a median robust to values straddling the 0/R wrap.
+func circularMedian(sorted []float64, r float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if sorted[len(sorted)-1]-sorted[0] < r/2 {
+		return sorted[len(sorted)/2]
+	}
+	ref := sorted[0]
+	shifted := make([]float64, len(sorted))
+	for i, v := range sorted {
+		d := v - ref
+		if d > r/2 {
+			d -= r
+		}
+		shifted[i] = d
+	}
+	sort.Float64s(shifted)
+	m := ref + shifted[len(shifted)/2]
+	if m < 0 {
+		m += r
+	}
+	return math.Mod(m, r)
+}
+
+// skewDev returns the accumulated skew deviation, in time, of sector
+// base+k relative to the no-boundary expectation k*width, folded into
+// [-R/2, R/2). On a defect-free region this is (boundaries crossed) x
+// (skew x width), perturbed only by timestamp noise.
+func (e *extractor) skewDev(base, k int64, width float64, trials int) float64 {
+	g := e.gapMod(base, k, trials)
+	expect := math.Mod(float64(k)*width, e.r)
+	dev := g - expect
+	dev -= math.Round(dev/e.r) * e.r
+	return dev
+}
+
+// crossed reports whether at least one track boundary lies within k
+// sectors after base.
+func (e *extractor) crossed(base, k int64, width float64) bool {
+	return math.Abs(e.skewDev(base, k, width, 5)) > 12*width
+}
+
+// firstBoundary binary searches the distance, in sectors, from base to the
+// first track boundary, looking no further than hiK. Returns -1 if none.
+func (e *extractor) firstBoundary(base, hiK int64, width float64) int64 {
+	if !e.crossed(base, hiK, width) {
+		return -1
+	}
+	lo, hi := int64(1), hiK
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.crossed(base, mid, width) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// widthAt robustly estimates the per-sector time at a region by taking the
+// median of short-hop measurements at several offsets — at most one or two
+// of which can cross a track boundary and inflate.
+func (e *extractor) widthAt(base int64) float64 {
+	var ws []float64
+	for _, off := range []int64{0, 51, 102, 153} {
+		ws = append(ws, e.gapMod(base+off, 8, 7)/8)
+	}
+	sort.Float64s(ws)
+	return (ws[1] + ws[2]) / 2
+}
+
+// sptAt measures sectors-per-track at a region: it finds the first track
+// boundary after base, hops just past it, and finds the next one; the two
+// boundaries are exactly one track apart.
+func (e *extractor) sptAt(base int64) (int, error) {
+	w := e.widthAt(base)
+	if w <= 0 {
+		return 0, fmt.Errorf("calib: non-positive sector width at LBA %d", base)
+	}
+	rough := e.r / w
+	if rough < 16 || rough > 4096 {
+		return 0, fmt.Errorf("calib: implausible rough SPT %.1f at LBA %d", rough, base)
+	}
+	hiK := int64(rough * 1.25)
+	b1 := e.firstBoundary(base, hiK, w)
+	if b1 < 0 {
+		return 0, fmt.Errorf("calib: no track boundary within %d sectors of LBA %d", hiK, base)
+	}
+	base2 := base + b1 + 2
+	b2 := e.firstBoundary(base2, hiK, w)
+	if b2 < 0 {
+		return 0, fmt.Errorf("calib: no second track boundary after LBA %d", base2)
+	}
+	return int(b2 + 2), nil
+}
+
+// ExtractGeometry discovers the drive's layout from timing alone: rotation
+// period, heads, skews, and the zone map. Only the LBA interface and the
+// reported capacity are used. It assumes the probed regions are defect-free
+// (the real tool retried elsewhere when a probe region looked
+// inconsistent).
+func ExtractGeometry(sim *des.Sim, drv *bus.Drive, nominalR des.Time) (*ExtractedGeometry, error) {
+	e := &extractor{sim: sim, drv: drv, size: drv.Geometry().TotalSectors()}
+	e.r = float64(MeasureRotation(sim, drv, nominalR))
+	out := &ExtractedGeometry{R: des.Time(e.r)}
+
+	// --- Track structure at the outer edge ---
+	base := int64(0)
+	spt0, err := e.sptAt(base)
+	if err != nil {
+		return nil, err
+	}
+	width := e.r / float64(spt0)
+	out.ZoneSPT = append(out.ZoneSPT, spt0)
+
+	// Locate the first boundary precisely, then step boundary by boundary
+	// (they are exactly spt0 apart within the zone) measuring each jump:
+	// heads-1 track-skew jumps, then a cylinder jump of (cyl+track) skew.
+	b1 := e.firstBoundary(base, int64(float64(spt0)*1.25), width)
+	if b1 < 0 {
+		return nil, fmt.Errorf("calib: lost the first track boundary")
+	}
+	var trackJump float64
+	for i := 0; i < 3*drvMaxHeads; i++ {
+		b := b1 + int64(i*spt0)
+		before := e.skewDev(base, b-1, width, 5)
+		after := e.skewDev(base, b+1, width, 5)
+		jump := after - before
+		jump -= math.Round(jump/e.r) * e.r
+		if i == 0 {
+			trackJump = jump
+			continue
+		}
+		if jump > 1.5*trackJump {
+			// Cylinder boundary. Jumps seen so far: boundary 0 was
+			// head0->head1, so i track boundaries precede this one and the
+			// cylinder has i+1 heads.
+			out.Heads = i + 1
+			out.TrackSkew = int(math.Round(trackJump / width))
+			out.CylSkew = int(math.Round(jump/width)) - out.TrackSkew
+			break
+		}
+		// Running average of track-skew jumps for a better estimate.
+		trackJump = (trackJump*float64(i) + jump) / float64(i+1)
+	}
+	if out.Heads == 0 {
+		return nil, fmt.Errorf("calib: no cylinder boundary found (uniform skew jumps)")
+	}
+
+	// --- Zone map: sample SPT across the LBA space, binary search the
+	// boundaries between samples that disagree. ---
+	probe := func(lba int64) (int, error) {
+		if lba < 0 {
+			lba = 0
+		}
+		if max := e.size - 4096; lba > max {
+			lba = max
+		}
+		return e.sptAt(lba)
+	}
+	const samples = 24
+	type samplePt struct {
+		lba int64
+		spt int
+	}
+	pts := []samplePt{{0, spt0}}
+	for i := 1; i < samples; i++ {
+		lba := e.size * int64(i) / samples
+		spt, err := probe(lba)
+		if err != nil {
+			continue // skip unprobeable spots; neighbors cover the zone
+		}
+		pts = append(pts, samplePt{lba, spt})
+	}
+	out.ZoneStarts = append(out.ZoneStarts, 0)
+	for i := 1; i < len(pts); i++ {
+		prev, next := pts[i-1].spt, pts[i].spt
+		if next == prev {
+			continue
+		}
+		lo, hi := pts[i-1].lba, pts[i].lba
+		for hi-lo > 1<<16 { // a zone map is coarse; 64K LBAs ≈ 25 tracks
+			mid := (lo + hi) / 2
+			spt, err := probe(mid)
+			if err != nil || absInt(spt-next) <= absInt(spt-prev) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		out.ZoneSPT = append(out.ZoneSPT, next)
+		out.ZoneStarts = append(out.ZoneStarts, hi)
+	}
+	return out, nil
+}
+
+// drvMaxHeads bounds the cylinder-boundary scan; no drive of the era had
+// more surfaces.
+const drvMaxHeads = 24
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

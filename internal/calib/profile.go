@@ -1,0 +1,254 @@
+package calib
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bus"
+	"repro/internal/des"
+	"repro/internal/disk"
+)
+
+// runCmd submits cmd and steps the simulator until it completes. The
+// measurement routines own the simulation loop while they run, mirroring
+// how the real driver calibrated disks at attach time before admitting
+// traffic.
+func runCmd(sim *des.Sim, drv *bus.Drive, cmd bus.Command) bus.Completion {
+	var out bus.Completion
+	done := false
+	drv.Submit(cmd, func(c bus.Completion) {
+		out = c
+		done = true
+	})
+	for !done {
+		if !sim.Step() {
+			panic("calib: simulation stalled mid-command")
+		}
+	}
+	return out
+}
+
+func read1(sim *des.Sim, drv *bus.Drive, lba int64) bus.Completion {
+	return runCmd(sim, drv, bus.Command{Op: bus.OpRead, LBA: lba, Count: 1})
+}
+
+// MeasureRotation estimates the rotation period from host timestamps only.
+// Back-to-back reads of the same sector mechanically complete exactly one
+// rotation apart, so the observed gap is R plus a zero-mean difference of
+// completion overheads; a long baseline then divides the noise down, the
+// same doubling trick the head tracker uses.
+func MeasureRotation(sim *des.Sim, drv *bus.Drive, nominalR des.Time) des.Time {
+	const lba = 0
+	// Short gaps: median of 9 single-rotation gaps gives a safe unwrap
+	// estimate.
+	prev := read1(sim, drv, lba)
+	var gaps []float64
+	for i := 0; i < 9; i++ {
+		cur := read1(sim, drv, lba)
+		gaps = append(gaps, float64(cur.Observed-prev.Observed))
+		prev = cur
+	}
+	sort.Float64s(gaps)
+	rough := gaps[len(gaps)/2]
+	if rough > 1.5*float64(nominalR) {
+		// Overheads exceeded one rotation; fold multiples out.
+		n := math.Round(rough / float64(nominalR))
+		rough /= n
+	}
+	// Lengthen the baseline in stages. Each stage's rotation count must be
+	// small enough that the previous estimate unwraps it unambiguously
+	// (error * rotations << R/2); tripling the baseline by ~16x per stage
+	// keeps that easily satisfied while driving the noise down to
+	// nanoseconds per rotation.
+	for _, rotations := range []float64{64, 1024, 8192} {
+		first := read1(sim, drv, lba)
+		target := sim.Now() + des.Time(rotations*rough)
+		for sim.Now() < target {
+			if !sim.Step() {
+				sim.RunUntil(target)
+			}
+		}
+		last := read1(sim, drv, lba)
+		span := float64(last.Observed - first.Observed)
+		n := math.Round(span / rough)
+		rough = span / n
+	}
+	return des.Time(rough)
+}
+
+// MeasureOverheadSum estimates the total fixed command overhead
+// (submit-side + completion-side + bus transfer) in time units. It reads a
+// base sector and then a sector m slots ahead on the same track for
+// increasing m: while the overhead exceeds the angular gap the drive blows
+// a full revolution, and the first m that services quickly brackets the
+// overhead at m sector widths. geom supplies the track map (from
+// extraction).
+func MeasureOverheadSum(sim *des.Sim, drv *bus.Drive, geom *disk.Geometry, r des.Time) des.Time {
+	base, err := geom.LBAToPhys(0)
+	if err != nil {
+		panic(err)
+	}
+	spt := geom.SPTOf(base.Cyl)
+	width := float64(r) / float64(spt)
+	// A same-track LBA m sectors ahead (stay clear of the track end).
+	lbaOf := func(m int) int64 {
+		p := disk.Chs{Cyl: base.Cyl, Head: base.Head, Sector: (base.Sector + m) % spt}
+		lba, err := geom.PhysToLBA(p)
+		if err != nil {
+			panic(err)
+		}
+		return lba
+	}
+	// Binary search the smallest m whose immediate follow-up read does not
+	// lose a rotation. Repeat each probe a few times and take the median
+	// service to reject jitter.
+	quick := func(m int) bool {
+		var svc []float64
+		for i := 0; i < 5; i++ {
+			read1(sim, drv, lbaOf(0))
+			c := read1(sim, drv, lbaOf(m))
+			svc = append(svc, float64(c.ServiceTime()))
+		}
+		sort.Float64s(svc)
+		return svc[len(svc)/2] < 0.7*float64(r)
+	}
+	// Search only up to half a track: beyond that the wrap-around makes the
+	// follow-up read slow again (the target sector is almost a full
+	// rotation away), breaking monotonicity.
+	lo, hi := 1, spt/2
+	if !quick(hi) {
+		// Overhead bigger than half a rotation; report that bound.
+		return r / 2
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if quick(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// The follow-up read catches sector m when the overhead fits in the
+	// m-1 sector gap between the end of the base sector and the start of
+	// sector m, so the overhead is about (lo-1.5) widths.
+	return des.Time((float64(lo) - 1.5) * width)
+}
+
+// MeasureSeekCurve fits the three-term seek curve from timing probes. For
+// each probe distance it seeks out and back many times with varying target
+// sectors and keeps the minimum observed service time, which approaches
+// pre + seek + transfer + post as rotational luck strikes; subtracting the
+// measured overhead sum and the expected residual rotational wait leaves
+// the seek time.
+func MeasureSeekCurve(sim *des.Sim, drv *bus.Drive, geom *disk.Geometry, r, overheadSum des.Time, writeSettle des.Time) (disk.SeekCurve, error) {
+	maxCyl := geom.LogicalCylinders() - 1
+	distances := probeDistances(maxCyl)
+	const trials = 32
+	// Expected minimum of `trials` uniform rotational waits is R/(trials+1).
+	residual := float64(r) / float64(trials+1)
+
+	type pt struct{ d, t float64 }
+	var pts []pt
+	for _, d := range distances {
+		homeLBA := lbaAtCylinder(geom, 100)
+		awayLBA := lbaAtCylinder(geom, 100+d)
+		awaySPT := geom.SPTOf(100 + d)
+		minSvc := math.Inf(1)
+		for i := 0; i < trials; i++ {
+			read1(sim, drv, homeLBA+int64(i%8))
+			// Sweep the target sector across the whole track so at least
+			// one trial lands with near-zero rotational wait after the
+			// seek.
+			off := int64(i*awaySPT/trials) % int64(awaySPT)
+			c := read1(sim, drv, awayLBA+off)
+			if s := float64(c.ServiceTime()); s < minSvc {
+				minSvc = s
+			}
+		}
+		seek := minSvc - float64(overheadSum) - residual
+		if seek < 0 {
+			seek = 0
+		}
+		pts = append(pts, pt{float64(d), seek})
+	}
+	// Least squares on [1, sqrt(d), d].
+	var m [3][4]float64
+	for _, p := range pts {
+		b := [3]float64{1, math.Sqrt(p.d), p.d}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += b[i] * b[j]
+			}
+			m[i][3] += b[i] * p.t
+		}
+	}
+	if err := solve3(&m); err != nil {
+		return disk.SeekCurve{}, err
+	}
+	sc := disk.SeekCurve{Alpha: m[0][3], Beta: m[1][3], Gamma: m[2][3], WriteSettle: writeSettle}
+	if sc.Gamma < 0 {
+		sc.Gamma = 0
+	}
+	return sc, nil
+}
+
+func probeDistances(maxCyl int) []int {
+	var ds []int
+	for d := 1; d < maxCyl-200; d = int(float64(d)*1.7) + 1 {
+		ds = append(ds, d)
+	}
+	ds = append(ds, maxCyl-200)
+	return ds
+}
+
+// lbaAtCylinder returns the first LBA on the given cylinder.
+func lbaAtCylinder(geom *disk.Geometry, cyl int) int64 {
+	lba, err := geom.PhysToLBA(disk.Chs{Cyl: cyl, Head: 0, Sector: 0})
+	if err != nil {
+		// Slipped defects can make sector 0 unmappable; walk forward.
+		spt := geom.SPTOf(cyl)
+		for s := 1; s < spt; s++ {
+			if l, e := geom.PhysToLBA(disk.Chs{Cyl: cyl, Head: 0, Sector: s}); e == nil {
+				return l
+			}
+		}
+		panic(err)
+	}
+	return lba
+}
+
+// solve3 solves a 3x3 normal-equation system (same layout as disk.gauss).
+func solve3(m *[3][4]float64) error {
+	n := 3
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-9 {
+			return errSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for k := col; k <= n; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		m[i][3] /= m[i][i]
+	}
+	return nil
+}
+
+type singularErr struct{}
+
+func (singularErr) Error() string { return "calib: singular fit" }
+
+var errSingular = singularErr{}

@@ -1,0 +1,97 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/disk"
+)
+
+func TestMeasureRotation(t *testing.T) {
+	sim, drv, d := protoDrive(t, 11)
+	got := MeasureRotation(sim, drv, d.NominalR)
+	if err := math.Abs(float64(got - d.R)); err > 0.2 {
+		t.Fatalf("measured R = %v, true %v (err %.3fus)", got, d.R, err)
+	}
+}
+
+func TestMeasureOverheadSum(t *testing.T) {
+	sim, drv, d := protoDrive(t, 13)
+	r := MeasureRotation(sim, drv, d.NominalR)
+	got := MeasureOverheadSum(sim, drv, drv.Geometry(), r)
+	// True mean: pre (120+15) + post (90+20) + one sector over the bus.
+	want := 248.0
+	if math.Abs(float64(got)-want) > 70 {
+		t.Fatalf("overhead sum = %v, want ~%.0fus +-70", got, want)
+	}
+}
+
+func TestMeasureSeekCurve(t *testing.T) {
+	sim, drv, d := protoDrive(t, 17)
+	r := MeasureRotation(sim, drv, d.NominalR)
+	oh := MeasureOverheadSum(sim, drv, drv.Geometry(), r)
+	sc, err := MeasureSeekCurve(sim, drv, drv.Geometry(), r, oh, d.Seek.WriteSettle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dist := range []int{1, 10, 100, 1000, 3000, 6000} {
+		got := float64(sc.Time(dist, false))
+		want := float64(d.Seek.Time(dist, false))
+		tol := 0.12*want + 250
+		if math.Abs(got-want) > tol {
+			t.Errorf("seek(%d) = %.0fus, true %.0fus (tol %.0f)", dist, got, want, tol)
+		}
+	}
+}
+
+func TestExtractGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("geometry extraction issues thousands of probe I/Os")
+	}
+	sim, drv, d := protoDrive(t, 19)
+	got, err := ExtractGeometry(sim, drv, d.NominalR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(float64(got.R - d.R)); e > 0.5 {
+		t.Errorf("extracted R = %v, true %v", got.R, d.R)
+	}
+	if got.Heads != d.Geom.Heads {
+		t.Errorf("extracted heads = %d, true %d", got.Heads, d.Geom.Heads)
+	}
+	z0 := d.Geom.Zones[0]
+	if got.TrackSkew < z0.TrackSkew-1 || got.TrackSkew > z0.TrackSkew+1 {
+		t.Errorf("extracted track skew = %d, true %d", got.TrackSkew, z0.TrackSkew)
+	}
+	if got.CylSkew < z0.CylSkew-2 || got.CylSkew > z0.CylSkew+2 {
+		t.Errorf("extracted cylinder skew = %d, true %d", got.CylSkew, z0.CylSkew)
+	}
+	// Zone SPT sequence must match the true zone map.
+	var trueSPT []int
+	for _, z := range d.Geom.Zones {
+		trueSPT = append(trueSPT, z.SPT)
+	}
+	if len(got.ZoneSPT) != len(trueSPT) {
+		t.Fatalf("extracted %d zones (%v), true %d (%v)", len(got.ZoneSPT), got.ZoneSPT, len(trueSPT), trueSPT)
+	}
+	for i := range trueSPT {
+		if got.ZoneSPT[i] != trueSPT[i] {
+			t.Errorf("zone %d SPT = %d, true %d", i, got.ZoneSPT[i], trueSPT[i])
+		}
+	}
+	// Zone starts should be within the binary search resolution plus one
+	// cylinder of the truth.
+	for i := 1; i < len(got.ZoneStarts); i++ {
+		z := d.Geom.Zones[i]
+		trueStart, err := d.Geom.PhysToLBA(disk.Chs{Cyl: z.StartCyl, Head: 0, Sector: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := int64(1<<16 + d.Geom.Heads*z.SPT)
+		if diff := got.ZoneStarts[i] - trueStart; diff < -tol || diff > tol {
+			t.Errorf("zone %d start = %d, true %d (tol %d)", i, got.ZoneStarts[i], trueStart, tol)
+		}
+	}
+	_ = des.Time(0)
+}

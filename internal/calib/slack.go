@@ -1,0 +1,67 @@
+package calib
+
+// SlackController implements the paper's real-time feedback loop on the
+// rotational slack (Section 3.2): when the predictor says the head is less
+// than k sectors from a target, the scheduler conservatively treats that
+// target as missed and aims for the next replica. The controller widens k
+// while more than about 1% of requests miss their rotational target and
+// narrows it after sustained clean windows, so the system converges to the
+// smallest slack that keeps >99% of requests on target.
+type SlackController struct {
+	// MinK and MaxK bound the slack.
+	MinK, MaxK int
+	// WindowSize is the number of completions per adjustment window.
+	WindowSize int
+	// TargetMissRate is the acceptable fraction of rotation misses.
+	TargetMissRate float64
+
+	k            int
+	window       int
+	misses       int
+	cleanWindows int
+}
+
+// NewSlackController returns a controller starting at startK sectors.
+func NewSlackController(startK int) *SlackController {
+	return &SlackController{
+		MinK:           0,
+		MaxK:           64,
+		WindowSize:     200,
+		TargetMissRate: 0.01,
+		k:              startK,
+	}
+}
+
+// K returns the current slack in sectors.
+func (s *SlackController) K() int { return s.k }
+
+// Record feeds one completion into the feedback loop.
+func (s *SlackController) Record(rotationMiss bool) {
+	s.window++
+	if rotationMiss {
+		s.misses++
+	}
+	if s.window < s.WindowSize {
+		return
+	}
+	missRate := float64(s.misses) / float64(s.window)
+	switch {
+	case missRate > s.TargetMissRate:
+		// Grow quickly: every miss costs a full rotation.
+		s.k += 2
+		if s.k > s.MaxK {
+			s.k = s.MaxK
+		}
+		s.cleanWindows = 0
+	case s.misses == 0:
+		// Shrink cautiously after several consecutive clean windows.
+		s.cleanWindows++
+		if s.cleanWindows >= 3 && s.k > s.MinK {
+			s.k--
+			s.cleanWindows = 0
+		}
+	default:
+		s.cleanWindows = 0
+	}
+	s.window, s.misses = 0, 0
+}

@@ -1,0 +1,526 @@
+// Package core implements the MimdRAID array controller — the paper's
+// primary contribution assembled from the substrate packages: the logical
+// disk layer, the disk configuration layer (striping / mirroring / RAID-10
+// / SR-Array / SR-Mirror via package layout), per-drive scheduling queues
+// (package sched), delayed write propagation with an NVRAM metadata table
+// (Section 3.4), the duplicate-request heuristic for scheduling reads on
+// mirrors (Section 3.3), and the head-tracking calibration machinery in
+// prototype mode (Section 3.2).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bus"
+	"repro/internal/calib"
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// Op is a logical operation.
+type Op int
+
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Result reports one completed logical request.
+type Result struct {
+	Op     Op
+	Off    int64
+	Count  int
+	Async  bool // asynchronous write (reported separately, per the paper)
+	Submit des.Time
+	Done   des.Time
+	// Failed reports that some piece of the request had no surviving copy
+	// (a drive failure made the data unreachable). Mirrored and SR-Mirror
+	// configurations survive single failures; striping and plain SR-Arrays
+	// do not — the reliability side of the capacity tradeoff.
+	Failed bool
+}
+
+// Latency is the response time.
+func (r Result) Latency() des.Time { return r.Done - r.Submit }
+
+// Options configures an Array.
+type Options struct {
+	Config layout.Config
+	// Policy names the per-drive scheduler: fcfs, sstf, look, satf, rlook,
+	// rsatf. Empty selects satf, or rsatf when Config.Dr > 1.
+	Policy string
+	// Spec is the drive model; zero value selects the ST39133LWV.
+	Spec disk.Spec
+	// DataSectors is the logical volume size; 0 means one disk's capacity.
+	DataSectors int64
+	// Prototype enables the noisy-timing mode: drives hide their mechanics
+	// behind the bus noise model and scheduling runs on calibrated
+	// estimates from the head tracker.
+	Prototype bool
+	// Seed drives all randomness (spindle phases, noise streams).
+	Seed int64
+	// ForegroundWrites disables delayed propagation: a write completes
+	// only when every copy is on disk (the worst case of Section 2.2).
+	ForegroundWrites bool
+	// NVRAMEntries bounds the delayed-write metadata table; 0 means the
+	// prototype's 10000.
+	NVRAMEntries int
+	// IdleDelay is how long a drive's foreground queue must stay empty
+	// before background replica propagation starts (so intra-burst gaps
+	// don't trigger 5 ms propagations in front of the next request). 0
+	// means the 10 ms default; negative disables the wait.
+	IdleDelay des.Time
+	// TCQDepth enables tagged command queueing: each drive accepts up to
+	// this many commands and schedules them internally by shortest access
+	// time (firmware-grade knowledge of its own mechanics). The host policy
+	// must then be order-free — fcfs, or rfcfs to keep host-side rotational
+	// replica choice (the paper's open question about drives with
+	// intelligent internal scheduling).
+	TCQDepth int
+	// OpportunisticTracking refines the head tracker's phase from ordinary
+	// request completions (the paper's unimplemented optimization).
+	OpportunisticTracking bool
+	// RecalibrateEvery overrides the head tracker's reference-read
+	// interval (0 keeps the default two minutes).
+	RecalibrateEvery des.Time
+
+	// Ablation knobs (all default to the paper's design).
+	//
+	// FixedSlack pins the rotational slack to a constant k instead of the
+	// feedback controller; -1 (default 0 value means adaptive) — use
+	// FixedSlackSet to distinguish.
+	FixedSlack    int
+	FixedSlackSet bool
+	// DisableCoalescing keeps superseded delayed writes instead of
+	// discarding them.
+	DisableCoalescing bool
+	// DisableDupRequests replaces the duplicate-request mirror heuristic
+	// with a static choice of the estimated-nearest mirror at submit time.
+	DisableDupRequests bool
+}
+
+// Array is a configured MimdRAID logical disk.
+type Array struct {
+	sim  *des.Sim
+	opts Options
+	lay  *layout.Layout
+
+	drives []*drive
+	reqSeq uint64
+
+	// writeGate serializes delayed-mode first-copy writes per chunk: two
+	// concurrent first copies of the same chunk landing on different
+	// mirror disks would each mark the other's disk stale, leaving no
+	// fresh replica anywhere.
+	writeGate map[int64][]func()
+
+	nvramCap  int
+	nvramUsed int
+
+	// Counters exposed for experiments and tests.
+	ForcedDelayed  int64 // delayed writes forced out by a full table
+	RefReads       int64 // head-tracking reference reads issued
+	RotationMisses int64
+	Dispatches     int64
+
+	breakdown Breakdown
+}
+
+// Breakdown decomposes foreground service time into its mechanical
+// components, summed over dispatched requests — the quantitative form of
+// Section 2's reasoning about where an SR-Array saves time. Queue is the
+// wait between arrival and dispatch; Overhead is command processing and
+// transfer-tail time.
+type Breakdown struct {
+	N        int64
+	Queue    des.Time
+	Overhead des.Time
+	Seek     des.Time
+	Rotate   des.Time
+	Transfer des.Time
+}
+
+// Means returns the per-request averages.
+func (b Breakdown) Means() (queue, overhead, seek, rotate, transfer des.Time) {
+	if b.N == 0 {
+		return
+	}
+	n := des.Time(b.N)
+	return b.Queue / n, b.Overhead / n, b.Seek / n, b.Rotate / n, b.Transfer / n
+}
+
+// BreakdownReport returns the accumulated service-time decomposition.
+func (a *Array) BreakdownReport() Breakdown { return a.breakdown }
+
+// drive bundles one spindle's queueing and calibration state.
+type drive struct {
+	id    int
+	bus   *bus.Drive
+	dsk   *disk.Disk
+	sched sched.Scheduler
+	est   calib.AccessEstimator
+	trk   *calib.Tracker
+	slack *calib.SlackController
+	acc   calib.AccuracyStats
+
+	queue   []*sched.Request
+	delayed []*delayedCopy
+	stale   map[int64]*chunkState // chunk -> pending-propagation state
+
+	refInFlight bool
+	// failed marks a fail-stopped drive: it finishes its in-flight command
+	// and then accepts no further work.
+	failed bool
+	// lastActive is the last time foreground work touched the drive; the
+	// idle-delay gate for background propagation measures from it.
+	lastActive des.Time
+	// recheckAt dedups scheduled idle-gate rechecks.
+	recheckAt des.Time
+}
+
+// New builds the array, its simulated drives, and (in prototype mode)
+// bootstraps each drive's head tracker. Construction advances the
+// simulation clock past calibration, as attaching disks did on the real
+// prototype.
+func New(sim *des.Sim, opts Options) (*Array, error) {
+	if opts.Spec.Name == "" {
+		opts.Spec = disk.ST39133LWV()
+	}
+	if opts.Policy == "" {
+		if opts.Config.Dr > 1 {
+			opts.Policy = "rsatf"
+		} else {
+			opts.Policy = "satf"
+		}
+	}
+	if opts.NVRAMEntries == 0 {
+		opts.NVRAMEntries = 10000
+	}
+	if opts.IdleDelay == 0 {
+		opts.IdleDelay = 10 * des.Millisecond
+	} else if opts.IdleDelay < 0 {
+		opts.IdleDelay = 0
+	}
+	if opts.TCQDepth > 0 && opts.Policy != "fcfs" && opts.Policy != "rfcfs" {
+		return nil, fmt.Errorf("core: TCQ delegates ordering to the drive; host policy must be fcfs or rfcfs, not %q", opts.Policy)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Build a reference drive to size the volume.
+	refSpec := opts.Spec
+	ref, err := refSpec.New()
+	if err != nil {
+		return nil, err
+	}
+	dataSectors := opts.DataSectors
+	if dataSectors == 0 {
+		// Default to one disk's worth of data, aligned down to whole
+		// stripe units across all positions so every configuration of this
+		// budget can hold it exactly.
+		unit := opts.Config.StripeUnit
+		if unit == 0 {
+			unit = layout.DefaultStripeUnit
+		}
+		align := int64(unit * opts.Config.Positions())
+		if align <= 0 {
+			align = int64(unit)
+		}
+		dataSectors = ref.Geom.TotalSectors() / align * align
+	}
+	lay, err := layout.New(opts.Config, ref.Geom, dataSectors)
+	if err != nil {
+		return nil, err
+	}
+	a := &Array{sim: sim, opts: opts, lay: lay, nvramCap: opts.NVRAMEntries, writeGate: make(map[int64][]func())}
+
+	noise := bus.DefaultNoise()
+	for i := 0; i < opts.Config.Disks(); i++ {
+		sp := opts.Spec
+		sp.Phase = rng.Float64()
+		if opts.Prototype {
+			sp.RSkew = (rng.Float64()*2 - 1) * 4e-4
+		}
+		dsk, err := sp.New()
+		if err != nil {
+			return nil, err
+		}
+		sc, err := sched.New(opts.Policy)
+		if err != nil {
+			return nil, err
+		}
+		d := &drive{id: i, dsk: dsk, sched: sc, stale: make(map[int64]*chunkState)}
+		if opts.Prototype {
+			d.bus = bus.NewPrototype(sim, dsk, noise, opts.Seed+int64(i)*7919+1)
+			post := noise.PostBase + noise.PostJitter + des.Time(float64(disk.SectorSize)/(160e6/1e6))
+			d.trk = calib.NewTracker(dsk.Geom, dsk.NominalR, post)
+			if opts.RecalibrateEvery > 0 {
+				d.trk.RecalibrateEvery = opts.RecalibrateEvery
+			}
+			d.slack = calib.NewSlackController(4)
+			if opts.FixedSlackSet {
+				d.slack = calib.NewSlackController(opts.FixedSlack)
+				d.slack.MinK = opts.FixedSlack
+				d.slack.MaxK = opts.FixedSlack
+			}
+			d.est = &calib.Tracked{
+				Geom:       dsk.Geom,
+				Seek:       dsk.Seek, // as recovered by calib.MeasureSeekCurve
+				HeadSwitch: dsk.HeadSwitch,
+				Pre:        noise.PreBase + noise.PreJitter,
+				Post:       post,
+				Trk:        d.trk,
+				Slack:      d.slack,
+			}
+		} else {
+			d.bus = bus.NewSim(sim, dsk)
+			d.est = &calib.Exact{Dsk: dsk, Overhead: d.bus.CmdOverhead}
+		}
+		if opts.TCQDepth > 0 {
+			d.bus.EnableTCQ(opts.TCQDepth)
+		}
+		a.drives = append(a.drives, d)
+	}
+	if opts.Prototype {
+		for _, d := range a.drives {
+			d.trk.Bootstrap(sim, d.bus)
+			a.RefReads += int64(d.trk.ObsCount)
+		}
+	}
+	return a, nil
+}
+
+// Layout exposes the array's data placement.
+func (a *Array) Layout() *layout.Layout { return a.lay }
+
+// Sim returns the simulation kernel the array runs on.
+func (a *Array) Sim() *des.Sim { return a.sim }
+
+// DataSectors returns the logical volume size in sectors.
+func (a *Array) DataSectors() int64 { return a.lay.DataSectors() }
+
+// Disks returns the number of drives.
+func (a *Array) Disks() int { return len(a.drives) }
+
+// QueueLen returns the foreground queue length of drive i (in-flight
+// excluded).
+func (a *Array) QueueLen(i int) int { return len(a.drives[i].queue) }
+
+// DelayedLen returns drive i's pending delayed-write count.
+func (a *Array) DelayedLen(i int) int { return len(a.drives[i].delayed) }
+
+// NVRAMUsed returns the number of live delayed-write table entries.
+func (a *Array) NVRAMUsed() int { return a.nvramUsed }
+
+// BusyTime returns the cumulative busy time of drive i.
+func (a *Array) BusyTime(i int) des.Time { return a.drives[i].bus.BusyTime }
+
+// Commands returns the number of media commands drive i has executed.
+func (a *Array) Commands(i int) int64 { return a.drives[i].bus.Commands }
+
+// Accuracy merges the per-drive prediction accuracy stats (prototype
+// mode): Table 2's inputs.
+func (a *Array) Accuracy() *calib.AccuracyStats {
+	var out calib.AccuracyStats
+	for _, d := range a.drives {
+		out.Merge(&d.acc)
+	}
+	return &out
+}
+
+// RotationPeriod returns drive 0's (estimated) rotation period.
+func (a *Array) RotationPeriod() des.Time { return a.drives[0].est.RotationPeriod() }
+
+func (a *Array) nextID() uint64 {
+	a.reqSeq++
+	return a.reqSeq
+}
+
+// Submit issues a logical I/O. done runs at completion time (through the
+// simulator); it may be nil.
+func (a *Array) Submit(op Op, off int64, count int, async bool, done func(Result)) error {
+	pieces, err := a.lay.Resolve(off, count)
+	if err != nil {
+		return err
+	}
+	if op == Read {
+		pieces = a.mergeReadPieces(pieces)
+	}
+	ur := &userRequest{
+		op: op, off: off, count: count, async: async,
+		submit: a.sim.Now(), done: done, remaining: len(pieces), a: a,
+	}
+	for i := range pieces {
+		p := &pieces[i]
+		if op == Read {
+			a.submitRead(ur, p)
+		} else {
+			a.submitWrite(ur, p)
+		}
+	}
+	return nil
+}
+
+// mergeReadPieces coalesces consecutive pieces of a large read that fall
+// on the same position and are physically contiguous, so a sequential
+// request reaches each drive as one long command instead of one command
+// per stripe chunk. Without this, per-chunk scheduling re-picks a replica
+// every 64 KB and large-I/O bandwidth collapses (the exact degradation
+// the paper's cross-track placement is designed to avoid). Only
+// fully-fresh chunks merge: staleness tracking stays chunk-granular.
+func (a *Array) mergeReadPieces(pieces []layout.Piece) []layout.Piece {
+	geom := a.drives[0].dsk.Geom
+	contiguous := func(prev, next disk.Extent) bool {
+		pl, err1 := geom.PhysToLBA(prev.Start)
+		nl, err2 := geom.PhysToLBA(next.Start)
+		return err1 == nil && err2 == nil && pl+int64(prev.Count) == nl
+	}
+	fresh := func(p *layout.Piece) bool {
+		for _, id := range p.Mirrors {
+			if a.freshMask(a.drives[id], p.Chunk) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	// Group by position: round-robin striping interleaves positions in
+	// logical order, but each position's successive chunks are physically
+	// contiguous on its disk.
+	var out []layout.Piece
+	lastAt := map[int]int{} // position -> index in out of its last piece
+	for i := range pieces {
+		p := pieces[i]
+		if at, ok := lastAt[p.Position]; ok {
+			cur := &out[at]
+			if fresh(cur) && fresh(&p) && contiguous(cur.Replicas[0][len(cur.Replicas[0])-1], p.Replicas[0][0]) {
+				// Append each replica's extents, fusing at physical joins.
+				mergeable := true
+				for j := 1; j < len(cur.Replicas); j++ {
+					// All replicas must continue contiguously too (they do
+					// by construction; guard against layout variants).
+					if !contiguous(cur.Replicas[j][len(cur.Replicas[j])-1], p.Replicas[j][0]) {
+						mergeable = false
+						break
+					}
+				}
+				if mergeable {
+					for j := range cur.Replicas {
+						cur.Replicas[j] = append(cur.Replicas[j], p.Replicas[j]...)
+					}
+					cur.Count += p.Count
+					continue
+				}
+			}
+		}
+		out = append(out, p)
+		lastAt[p.Position] = len(out) - 1
+	}
+	// Fuse physically contiguous extents so each replica reaches the bus
+	// as the fewest, longest commands (the layout splits conservatively at
+	// track boundaries, but a multi-track run is one LBA-contiguous
+	// command that the drive streams across its skewed tracks).
+	for i := range out {
+		for j := range out[i].Replicas {
+			src := out[i].Replicas[j]
+			fused := src[:1]
+			for _, e := range src[1:] {
+				if n := len(fused) - 1; contiguous(fused[n], e) {
+					fused[n].Count += e.Count
+				} else {
+					fused = append(fused, e)
+				}
+			}
+			out[i].Replicas[j] = fused
+		}
+	}
+	return out
+}
+
+// userRequest tracks a logical request across its pieces.
+type userRequest struct {
+	a         *Array
+	op        Op
+	off       int64
+	count     int
+	async     bool
+	submit    des.Time
+	remaining int
+	failed    bool
+	done      func(Result)
+}
+
+func (ur *userRequest) pieceDone() {
+	ur.remaining--
+	if ur.remaining > 0 {
+		return
+	}
+	if ur.done != nil {
+		ur.done(Result{
+			Op: ur.op, Off: ur.off, Count: ur.count, Async: ur.async,
+			Submit: ur.submit, Done: ur.a.sim.Now(), Failed: ur.failed,
+		})
+	}
+}
+
+// pieceFailed records that a piece had no surviving copy.
+func (ur *userRequest) pieceFailed() {
+	ur.failed = true
+	ur.pieceDone()
+}
+
+// FailDrive fail-stops drive i: the in-flight command (if any) finishes,
+// queued work is rerouted to surviving mirrors or failed, pending replica
+// propagation to the drive is dropped, and no further commands are
+// accepted. There is no rebuild: the array runs degraded, as the paper's
+// reliability discussion assumes.
+func (a *Array) FailDrive(i int) {
+	d := a.drives[i]
+	if d.failed {
+		return
+	}
+	d.failed = true
+	// Drop pending propagation to this drive; the copies are lost but the
+	// table entries must still resolve.
+	for _, c := range d.delayed {
+		a.clearStale(d, c.chunk, c.replica)
+		a.copyEntryDone(c.entry)
+	}
+	d.delayed = nil
+	// Reroute or fail queued foreground work.
+	queue := d.queue
+	d.queue = nil
+	for _, req := range queue {
+		tag := req.Tag.(*reqTag)
+		if tag.ref {
+			d.refInFlight = false
+			continue
+		}
+		if g := tag.group; g != nil && !g.claimed {
+			// Duplicates on surviving drives keep the request alive; just
+			// forget this member.
+			live := g.members[:0]
+			for _, m := range g.members {
+				if m.req != req {
+					live = append(live, m)
+				}
+			}
+			g.members = live
+			if len(g.members) > 0 {
+				continue
+			}
+		}
+		tag.fail()
+	}
+}
+
+// Alive reports whether drive i accepts work.
+func (a *Array) Alive(i int) bool { return !a.drives[i].failed }

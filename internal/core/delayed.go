@@ -1,0 +1,478 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"repro/internal/bus"
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// chunkState tracks, per (drive, chunk), how many pending propagations
+// leave each rotational replica stale. Reads may only use replicas with a
+// zero stale count.
+type chunkState struct {
+	staleCount []int
+}
+
+func (cs *chunkState) allZero() bool {
+	for _, c := range cs.staleCount {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// freshMask returns the per-replica freshness of a chunk on a drive, or
+// nil when everything is fresh (the common case, avoiding allocation).
+func (a *Array) freshMask(d *drive, chunk int64) []bool {
+	cs := d.stale[chunk]
+	if cs == nil {
+		return nil
+	}
+	mask := make([]bool, a.opts.Config.Dr)
+	for j := range mask {
+		mask[j] = cs.staleCount[j] == 0
+	}
+	return mask
+}
+
+func (a *Array) markStale(d *drive, chunk int64, replica int) {
+	cs := d.stale[chunk]
+	if cs == nil {
+		cs = &chunkState{staleCount: make([]int, a.opts.Config.Dr)}
+		d.stale[chunk] = cs
+	}
+	cs.staleCount[replica]++
+}
+
+func (a *Array) clearStale(d *drive, chunk int64, replica int) {
+	cs := d.stale[chunk]
+	if cs == nil {
+		panic("core: clearing staleness that was never set")
+	}
+	cs.staleCount[replica]--
+	if cs.staleCount[replica] < 0 {
+		panic("core: negative stale count")
+	}
+	if cs.allZero() {
+		delete(d.stale, chunk)
+	}
+}
+
+// propEntry is one NVRAM metadata-table entry: a completed first write
+// whose remaining copies are still propagating. Only the location of the
+// first write needs to persist (Section 3.4), so entries are tiny.
+type propEntry struct {
+	remaining int
+}
+
+// delayedCopy is one pending replica propagation on one drive.
+type delayedCopy struct {
+	entry   *propEntry
+	replica int
+	extents []disk.Extent
+	chunk   int64
+	off     int64
+	count   int
+}
+
+// submitWrite routes one write piece. In foreground mode every copy is a
+// foreground request and the write completes when all are done (Eq. 7's
+// worst case). In delayed mode the first copy is scheduled like a read
+// (duplicated across mirrors, any replica) and the rest are set aside in
+// per-drive delayed queues.
+func (a *Array) submitWrite(ur *userRequest, p *layout.Piece) {
+	if !a.opts.ForegroundWrites {
+		// One first copy per chunk at a time (see Array.writeGate).
+		if waiting, gated := a.writeGate[p.Chunk]; gated {
+			a.writeGate[p.Chunk] = append(waiting, func() { a.submitWriteGated(ur, p) })
+			return
+		}
+		a.writeGate[p.Chunk] = nil
+	}
+	a.submitWriteGated(ur, p)
+}
+
+// releaseWriteGate runs the next deferred write of the chunk, or closes
+// the gate.
+func (a *Array) releaseWriteGate(chunk int64) {
+	waiting, gated := a.writeGate[chunk]
+	if !gated {
+		panic("core: releasing an open write gate")
+	}
+	if len(waiting) == 0 {
+		delete(a.writeGate, chunk)
+		return
+	}
+	next := waiting[0]
+	a.writeGate[chunk] = waiting[1:]
+	next()
+}
+
+func (a *Array) submitWriteGated(ur *userRequest, p *layout.Piece) {
+	live := p.Mirrors[:0:0]
+	for _, id := range p.Mirrors {
+		if !a.drives[id].failed {
+			live = append(live, id)
+		}
+	}
+	if len(live) == 0 {
+		// No surviving copy can take the data.
+		if !a.opts.ForegroundWrites {
+			a.releaseWriteGate(p.Chunk)
+		}
+		ur.pieceFailed()
+		return
+	}
+	if a.opts.ForegroundWrites {
+		left := len(live) * a.opts.Config.Dr
+		done := func() {
+			left--
+			if left == 0 {
+				ur.pieceDone()
+			}
+		}
+		for _, id := range live {
+			d := a.drives[id]
+			for j := 0; j < a.opts.Config.Dr; j++ {
+				req := &sched.Request{
+					ID:       a.nextID(),
+					Write:    true,
+					Arrive:   a.sim.Now(),
+					Replicas: []sched.Replica{{Extents: p.Replicas[j]}},
+					Tag: &reqTag{
+						onDone: func(bus.Completion, int) { done() },
+						// A copy lost to a failure mid-queue still counts
+						// toward completion: the write survives on the
+						// remaining copies.
+						onFail: done,
+					},
+				}
+				a.enqueue(d, req)
+			}
+		}
+		return
+	}
+
+	// Delayed mode: first write duplicated across mirror disks; the
+	// scheduler on whichever drive claims it picks the cheapest replica.
+	g := &dupGroup{}
+	if len(live) == 1 {
+		g = nil
+	}
+	for _, id := range live {
+		d := a.drives[id]
+		req := &sched.Request{
+			ID:       a.nextID(),
+			Write:    true,
+			Arrive:   a.sim.Now(),
+			Replicas: replicasOf(p),
+			// Evaluated live at scheduling time: while an earlier write to
+			// this chunk is still propagating, only its fresh replica may
+			// take the new data, or the chunk could end up with no
+			// up-to-date copy at all.
+			AllowedFn: func(j int) bool {
+				mask := a.freshMask(d, p.Chunk)
+				return mask == nil || mask[j]
+			},
+		}
+		req.Tag = &reqTag{
+			group: g,
+			onDone: func(last bus.Completion, chosen int) {
+				ur.pieceDone()
+				a.registerPropagation(p, d, chosen)
+				a.releaseWriteGate(p.Chunk)
+			},
+			// All duplicates gone: retry against the survivors (the gate
+			// is still held by this write).
+			onFail: func() { a.submitWriteGated(ur, p) },
+		}
+		if g != nil {
+			g.members = append(g.members, dupMember{d, req})
+		} else {
+			a.enqueue(d, req)
+		}
+	}
+	if g != nil {
+		for _, m := range g.members {
+			m.d.queue = append(m.d.queue, m.req)
+		}
+		for _, m := range g.members {
+			if g.claimed {
+				break
+			}
+			a.kick(m.d)
+		}
+	}
+}
+
+// registerPropagation records the copies still owed after the first write
+// of a piece landed on drive first at replica chosen, coalescing against
+// still-pending updates of the same range (data that dies young never hits
+// the platter twice).
+func (a *Array) registerPropagation(p *layout.Piece, first *drive, chosen int) {
+	if first.failed {
+		// The first copy landed on a drive that fail-stopped before its
+		// completion was processed: the new data is gone. Leave the
+		// surviving copies fresh with the pre-write contents rather than
+		// marking them stale against an unreadable source.
+		return
+	}
+	entry := &propEntry{}
+	var touched []*drive
+	for _, id := range p.Mirrors {
+		d := a.drives[id]
+		if d.failed {
+			continue
+		}
+		for j := 0; j < a.opts.Config.Dr; j++ {
+			if d == first && j == chosen {
+				continue
+			}
+			if !a.opts.DisableCoalescing {
+				a.coalesce(d, p.Chunk, p.Off, p.Count, j)
+			}
+			d.delayed = append(d.delayed, &delayedCopy{
+				entry:   entry,
+				replica: j,
+				extents: p.Replicas[j],
+				chunk:   p.Chunk,
+				off:     p.Off,
+				count:   p.Count,
+			})
+			a.markStale(d, p.Chunk, j)
+			entry.remaining++
+		}
+		touched = append(touched, d)
+	}
+	if entry.remaining > 0 {
+		a.nvramUsed++
+	}
+	if a.nvramUsed >= a.nvramCap {
+		a.forceDelayed(a.nvramCap / 10)
+	}
+	for _, d := range touched {
+		a.kick(d)
+	}
+}
+
+// coalesce discards still-queued propagations the new write fully covers:
+// data that dies young never reaches the platter twice (Section 3.4).
+func (a *Array) coalesce(d *drive, chunk, off int64, count, replica int) {
+	kept := d.delayed[:0]
+	for _, c := range d.delayed {
+		if c.chunk == chunk && c.replica == replica &&
+			off <= c.off && off+int64(count) >= c.off+int64(c.count) {
+			a.clearStale(d, chunk, replica)
+			a.copyEntryDone(c.entry)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	d.delayed = kept
+}
+
+func (a *Array) copyEntryDone(e *propEntry) {
+	e.remaining--
+	if e.remaining < 0 {
+		panic("core: propagation entry over-completed")
+	}
+	if e.remaining == 0 {
+		a.nvramUsed--
+	}
+}
+
+// dispatchDelayed services the cheapest of the oldest pending copies when
+// the drive has no foreground work.
+func (a *Array) dispatchDelayed(d *drive) {
+	window := len(d.delayed)
+	if window > 8 {
+		window = 8
+	}
+	bestI := -1
+	bestT := des.Time(math.Inf(1))
+	for i := 0; i < window; i++ {
+		c := d.delayed[i]
+		e := c.extents[0]
+		t := d.est.Access(d.bus.ArmState(), disk.Request{Start: e.Start, Count: e.Count, Write: true}, a.sim.Now())
+		if t < bestT {
+			bestI, bestT = i, t
+		}
+	}
+	c := d.delayed[bestI]
+	d.delayed = append(d.delayed[:bestI], d.delayed[bestI+1:]...)
+	req := &sched.Request{ID: a.nextID(), Write: true, Arrive: a.sim.Now()}
+	a.runExtents(d, req, c.extents, 0, func(bus.Completion) {
+		a.finishCopy(d, c)
+		a.kick(d)
+	})
+}
+
+func (a *Array) finishCopy(d *drive, c *delayedCopy) {
+	a.clearStale(d, c.chunk, c.replica)
+	a.copyEntryDone(c.entry)
+}
+
+// forceDelayed moves up to n pending copies (oldest first, spread over all
+// drives) into the foreground queues — the paper's response to a filling
+// metadata table.
+func (a *Array) forceDelayed(n int) {
+	if n < 1 {
+		n = 1
+	}
+	moved := 0
+	for moved < n {
+		progress := false
+		for _, d := range a.drives {
+			if len(d.delayed) == 0 {
+				continue
+			}
+			c := d.delayed[0]
+			d.delayed = d.delayed[1:]
+			a.promoteCopy(d, c)
+			moved++
+			progress = true
+			if moved >= n {
+				break
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	a.ForcedDelayed += int64(moved)
+}
+
+// promoteCopy turns a delayed copy into a foreground write request.
+func (a *Array) promoteCopy(d *drive, c *delayedCopy) {
+	req := &sched.Request{
+		ID:       a.nextID(),
+		Write:    true,
+		Arrive:   a.sim.Now(),
+		Replicas: []sched.Replica{{Extents: c.extents}},
+		Tag: &reqTag{onDone: func(bus.Completion, int) {
+			a.finishCopy(d, c)
+		}},
+	}
+	a.enqueue(d, req)
+}
+
+// RecoverDelayed replays the metadata table after a simulated crash: every
+// pending copy is reissued as a foreground write, exactly what the
+// prototype's NVRAM recovery did. It returns the number of copies
+// reissued.
+func (a *Array) RecoverDelayed() int {
+	total := 0
+	for _, d := range a.drives {
+		pending := d.delayed
+		d.delayed = nil
+		for _, c := range pending {
+			a.promoteCopy(d, c)
+			total++
+		}
+	}
+	return total
+}
+
+// Idle reports whether the array has no queued, in-flight, or delayed
+// work.
+func (a *Array) Idle() bool {
+	for _, d := range a.drives {
+		if d.bus.Busy() || len(d.queue) > 0 || len(d.delayed) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Drain runs the simulation until the array is idle (bounded by maxTime to
+// catch livelock in tests).
+func (a *Array) Drain(maxTime des.Time) bool {
+	deadline := a.sim.Now() + maxTime
+	for !a.Idle() {
+		if !a.sim.Step() || a.sim.Now() > deadline {
+			return a.Idle()
+		}
+	}
+	return true
+}
+
+// nvramEntry is the serialized form of one pending replica propagation:
+// the logical range plus the copy it still owes. The paper's NVRAM table
+// holds just enough to finish propagation after a crash ("it is not
+// necessary to store a copy of the data itself... the physical location
+// of the first write is sufficient"), so entries are a few words each.
+type nvramEntry struct {
+	Off     int64
+	Count   int32
+	Disk    int32
+	Replica int32
+}
+
+// SnapshotNVRAM serializes the delayed-write metadata table, as the
+// prototype's battery-backed RAM would preserve it across a crash.
+func (a *Array) SnapshotNVRAM() ([]byte, error) {
+	var entries []nvramEntry
+	for _, d := range a.drives {
+		for _, c := range d.delayed {
+			entries = append(entries, nvramEntry{
+				Off: c.off, Count: int32(c.count), Disk: int32(d.id), Replica: int32(c.replica),
+			})
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// AdoptNVRAM replays a snapshot taken from a crashed instance of the same
+// configuration: every still-owed copy is reissued as a foreground write.
+// It returns the number of copies reissued.
+func (a *Array) AdoptNVRAM(snapshot []byte) (int, error) {
+	var entries []nvramEntry
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&entries); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		pieces, err := a.lay.Resolve(e.Off, int(e.Count))
+		if err != nil {
+			return n, fmt.Errorf("core: corrupt NVRAM entry %+v: %v", e, err)
+		}
+		for i := range pieces {
+			p := &pieces[i]
+			owed := false
+			for _, id := range p.Mirrors {
+				if id == int(e.Disk) {
+					owed = true
+				}
+			}
+			if !owed || int(e.Replica) >= len(p.Replicas) {
+				return n, fmt.Errorf("core: NVRAM entry %+v does not match this layout", e)
+			}
+			d := a.drives[e.Disk]
+			if d.failed {
+				continue
+			}
+			req := &sched.Request{
+				ID:       a.nextID(),
+				Write:    true,
+				Arrive:   a.sim.Now(),
+				Replicas: []sched.Replica{{Extents: p.Replicas[e.Replica]}},
+				Tag:      &reqTag{onDone: func(bus.Completion, int) {}},
+			}
+			a.enqueue(d, req)
+			n++
+		}
+	}
+	return n, nil
+}

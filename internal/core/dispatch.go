@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/calib"
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// reqTag is the array-layer bookkeeping riding on each sched.Request.
+type reqTag struct {
+	group *dupGroup
+	// onDone runs when the dispatched request fully completes (all extents
+	// transferred). chosenReplica is the replica the scheduler picked.
+	onDone func(last bus.Completion, chosenReplica int)
+	// onFail runs when a drive failure leaves the request with no copy to
+	// read or write; nil means the failure is silently absorbed (delayed
+	// propagation copies).
+	onFail func()
+	// ref marks head-tracking reference reads.
+	ref bool
+}
+
+// fail invokes the failure path.
+func (t *reqTag) fail() {
+	if t.onFail != nil {
+		t.onFail()
+	}
+}
+
+// dupGroup links duplicate copies of one read enqueued on several mirror
+// disks (Section 3.3): as soon as one copy is scheduled, the rest are
+// removed from their queues.
+type dupGroup struct {
+	claimed bool
+	members []dupMember
+}
+
+type dupMember struct {
+	d   *drive
+	req *sched.Request
+}
+
+// enqueue inserts a request into a drive's foreground queue and tries to
+// start the drive.
+func (a *Array) enqueue(d *drive, req *sched.Request) {
+	d.queue = append(d.queue, req)
+	a.kick(d)
+}
+
+// removeFromQueue deletes a request from a drive's queue (it is an
+// invariant violation if absent).
+func removeFromQueue(d *drive, req *sched.Request) {
+	for i, r := range d.queue {
+		if r == req {
+			d.queue = append(d.queue[:i], d.queue[i+1:]...)
+			return
+		}
+	}
+	panic("core: request missing from drive queue")
+}
+
+// kick starts work on a drive if it is idle: first overdue head-tracking
+// reads, then the foreground queue under the configured policy, then
+// delayed write propagation (which runs only when the foreground queue is
+// empty, per Section 3.4).
+func (a *Array) kick(d *drive) {
+	if d.failed || d.bus.Free() == 0 {
+		return
+	}
+	now := a.sim.Now()
+	if d.trk != nil && !d.refInFlight && d.trk.Due(now) {
+		a.enqueueRef(d)
+	}
+	// Fill every free tag slot (one, without TCQ).
+	dispatched := false
+	for d.bus.Free() > 0 {
+		choice, ok := d.sched.Pick(now, d.bus.ArmState(), d.queue, d.est)
+		if !ok {
+			break
+		}
+		d.lastActive = now
+		a.dispatch(d, choice)
+		dispatched = true
+	}
+	if dispatched || len(d.delayed) == 0 {
+		return
+	}
+	if !d.bus.Idle() {
+		return // tags still working; background waits for full idleness
+	}
+	// Background propagation waits out a short idle window so it does not
+	// start a multi-millisecond write in front of the next request of an
+	// in-progress burst.
+	if wait := d.lastActive + a.opts.IdleDelay - now; wait > 0 {
+		at := now + wait
+		if d.recheckAt < at {
+			d.recheckAt = at
+			a.sim.At(at, func() { a.kick(d) })
+		}
+		return
+	}
+	a.dispatchDelayed(d)
+}
+
+// enqueueRef queues a priority read of the reference sector for the head
+// tracker. Priority requests are picked ahead of the scan by every policy,
+// so tracking cannot starve under load.
+func (a *Array) enqueueRef(d *drive) {
+	d.refInFlight = true
+	a.RefReads++
+	cmd := d.trk.RefCommand()
+	p, err := d.dsk.Geom.LBAToPhys(cmd.LBA)
+	if err != nil {
+		panic(fmt.Sprintf("core: reference sector unmappable: %v", err))
+	}
+	req := &sched.Request{
+		ID:       a.nextID(),
+		Arrive:   a.sim.Now(),
+		Priority: true,
+		Replicas: []sched.Replica{{Extents: []disk.Extent{{Start: p, Count: cmd.Count}}}},
+		Tag: &reqTag{
+			ref: true,
+			onDone: func(last bus.Completion, _ int) {
+				d.trk.Observe(last)
+				d.refInFlight = false
+			},
+		},
+	}
+	d.queue = append(d.queue, req)
+}
+
+// dispatch removes the chosen request from the queue, claims its duplicate
+// group, and runs its extents on the drive.
+func (a *Array) dispatch(d *drive, choice sched.Choice) {
+	req := d.queue[choice.Index]
+	removeFromQueue(d, req)
+	tag := req.Tag.(*reqTag)
+	if g := tag.group; g != nil {
+		if g.claimed {
+			panic("core: dispatching an already-claimed duplicate")
+		}
+		g.claimed = true
+		for _, m := range g.members {
+			if m.req != req {
+				removeFromQueue(m.d, m.req)
+			}
+		}
+	}
+	a.Dispatches++
+	extents := req.Replicas[choice.Replica].Extents
+	start := a.sim.Now()
+	a.runExtents(d, req, extents, 0, func(last bus.Completion) {
+		d.lastActive = a.sim.Now()
+		a.account(d, req, choice, extents, start, last)
+		if !req.Priority {
+			b := &a.breakdown
+			b.N++
+			b.Queue += start - req.Arrive
+			b.Seek += last.Timing.Seek
+			b.Rotate += last.Timing.Rotate
+			b.Transfer += last.Timing.Transfer
+			b.Overhead += (last.Observed - start) - last.Timing.Total()
+		}
+		tag.onDone(last, choice.Replica)
+		a.kick(d)
+	})
+}
+
+// runExtents submits a replica's extents back-to-back and calls done with
+// the final completion.
+func (a *Array) runExtents(d *drive, req *sched.Request, extents []disk.Extent, i int, done func(bus.Completion)) {
+	e := extents[i]
+	lba, err := d.dsk.Geom.PhysToLBA(e.Start)
+	if err != nil {
+		panic(fmt.Sprintf("core: layout produced unmappable extent %v: %v", e.Start, err))
+	}
+	op := bus.OpRead
+	if req.Write {
+		op = bus.OpWrite
+	}
+	d.bus.Submit(bus.Command{Op: op, LBA: lba, Count: e.Count}, func(comp bus.Completion) {
+		if i+1 < len(extents) {
+			a.runExtents(d, req, extents, i+1, done)
+			return
+		}
+		done(comp)
+	})
+}
+
+// account feeds prediction accuracy and the slack feedback loop (prototype
+// mode), and optionally the opportunistic phase update.
+func (a *Array) account(d *drive, req *sched.Request, choice sched.Choice, extents []disk.Extent, start des.Time, last bus.Completion) {
+	if d.trk == nil {
+		return
+	}
+	if len(extents) == 1 && !req.Priority && a.opts.TCQDepth == 0 {
+		// (Under TCQ the measured time includes the drive's internal
+		// queueing, which the host prediction cannot see; accuracy
+		// accounting only makes sense for host-scheduled commands.)
+		measured := last.Observed - start
+		rec := calib.PredictionRecord{Predicted: choice.Predicted, Measured: measured}
+		d.acc.Add(rec)
+		miss := rec.IsRotationMiss(d.est.RotationPeriod())
+		if miss {
+			a.RotationMisses++
+		}
+		d.slack.Record(miss)
+	}
+	if a.opts.OpportunisticTracking && !req.Priority {
+		e := extents[len(extents)-1]
+		endSector := e.Start
+		endSector.Sector += e.Count - 1
+		spt := d.dsk.Geom.SPTOf(endSector.Cyl)
+		if endSector.Sector < spt { // stay on the same track for the angle
+			d.trk.OpportunisticObserve(last, endSector)
+		}
+	}
+}
+
+// submitRead routes one read piece: to an idle mirror disk directly, or
+// duplicated into every candidate's queue (the paper's mirror heuristic).
+func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
+	type cand struct {
+		d    *drive
+		mask []bool
+	}
+	var cands []cand
+	anyFailed := false
+	for _, id := range p.Mirrors {
+		d := a.drives[id]
+		if d.failed {
+			anyFailed = true
+			continue
+		}
+		mask := a.freshMask(d, p.Chunk)
+		if mask != nil && !anyTrue(mask) {
+			continue // every replica here is stale
+		}
+		cands = append(cands, cand{d, mask})
+	}
+	if len(cands) == 0 {
+		if anyFailed {
+			// Every surviving mirror is stale or gone: the data is
+			// unreachable. Degraded-mode reads fail here.
+			ur.pieceFailed()
+			return
+		}
+		// Should be unreachable with all drives alive: the most recent
+		// first-written copy is fresh by construction.
+		msg := fmt.Sprintf("core: no fresh replica anywhere for read of chunk %d:", p.Chunk)
+		for _, id := range p.Mirrors {
+			d := a.drives[id]
+			if cs := d.stale[p.Chunk]; cs != nil {
+				msg += fmt.Sprintf(" disk%d=%v", id, cs.staleCount)
+			} else {
+				msg += fmt.Sprintf(" disk%d=fresh", id)
+			}
+		}
+		panic(msg)
+	}
+	mkReq := func(c cand, g *dupGroup) *sched.Request {
+		return &sched.Request{
+			ID:              a.nextID(),
+			Arrive:          a.sim.Now(),
+			Replicas:        replicasOf(p),
+			AllowedReplicas: c.mask,
+			Tag: &reqTag{
+				group:  g,
+				onDone: func(bus.Completion, int) { ur.pieceDone() },
+				// A failure with no surviving duplicate retries against
+				// the remaining mirrors (and fails there if none remain).
+				onFail: func() { a.submitRead(ur, p) },
+			},
+		}
+	}
+	// Idle-disk fast path: send to the idle head closest to a copy.
+	var bestIdle *cand
+	var bestT des.Time
+	for i := range cands {
+		c := &cands[i]
+		if c.d.bus.Busy() || len(c.d.queue) > 0 {
+			continue
+		}
+		t := a.bestAccess(c.d, p, c.mask)
+		if bestIdle == nil || t < bestT {
+			bestIdle, bestT = c, t
+		}
+	}
+	if bestIdle != nil {
+		a.enqueue(bestIdle.d, mkReq(*bestIdle, nil))
+		return
+	}
+	if len(cands) == 1 {
+		a.enqueue(cands[0].d, mkReq(cands[0], nil))
+		return
+	}
+	if a.opts.DisableDupRequests {
+		// Ablation: statically pick the mirror whose head currently looks
+		// nearest, without the cancel-on-claim machinery.
+		best := 0
+		bestT := a.bestAccess(cands[0].d, p, cands[0].mask)
+		for i := 1; i < len(cands); i++ {
+			if t := a.bestAccess(cands[i].d, p, cands[i].mask); t < bestT {
+				best, bestT = i, t
+			}
+		}
+		a.enqueue(cands[best].d, mkReq(cands[best], nil))
+		return
+	}
+	g := &dupGroup{}
+	for _, c := range cands {
+		req := mkReq(c, g)
+		g.members = append(g.members, dupMember{c.d, req})
+	}
+	for _, m := range g.members {
+		m.d.queue = append(m.d.queue, m.req)
+	}
+	for _, m := range g.members {
+		if g.claimed {
+			break
+		}
+		a.kick(m.d)
+	}
+}
+
+// bestAccess estimates the cheapest allowed replica access for a piece on
+// a drive.
+func (a *Array) bestAccess(d *drive, p *layout.Piece, mask []bool) des.Time {
+	best := des.Time(0)
+	first := true
+	for j, rep := range p.Replicas {
+		if mask != nil && !mask[j] {
+			continue
+		}
+		e := rep[0]
+		t := d.est.Access(d.bus.ArmState(), disk.Request{Start: e.Start, Count: e.Count}, a.sim.Now())
+		if first || t < best {
+			best, first = t, false
+		}
+	}
+	return best
+}
+
+// replicasOf converts a layout piece to scheduler replicas.
+func replicasOf(p *layout.Piece) []sched.Replica {
+	out := make([]sched.Replica, len(p.Replicas))
+	for j, exts := range p.Replicas {
+		out[j] = sched.Replica{Extents: exts}
+	}
+	return out
+}
+
+func anyTrue(mask []bool) bool {
+	for _, b := range mask {
+		if b {
+			return true
+		}
+	}
+	return false
+}

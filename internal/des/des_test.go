@@ -1,0 +1,224 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	s := New()
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("expected 5 events, got %d", len(got))
+	}
+	if s.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(7, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	s := New()
+	var order []string
+	s.At(10, func() {
+		order = append(order, "a")
+		s.After(5, func() { order = append(order, "c") })
+	})
+	s.At(12, func() { order = append(order, "b") })
+	s.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(100, func() { ran = true })
+	s.RunUntil(50)
+	if ran {
+		t.Fatal("event at 100 ran during RunUntil(50)")
+	}
+	if s.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", s.Now())
+	}
+	s.RunUntil(150)
+	if !ran {
+		t.Fatal("event at 100 did not run during RunUntil(150)")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.At(Time(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("processed %d events after Stop, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	n := 0
+	s.At(1, func() { n++ })
+	s.At(2, func() { n++ })
+	if !s.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !s.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// Property: for any batch of event times, execution order is a stable sort
+// by time.
+func TestPropertyStableTimeSort(t *testing.T) {
+	f := func(times []uint16) bool {
+		s := New()
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var got []rec
+		for i, u := range times {
+			at := Time(u)
+			i := i
+			s.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		s.Run()
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].idx < got[i-1].idx {
+				return false
+			}
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500.0us"},
+		{1500, "1.500ms"},
+		{2.5e6, "2.5000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.t), got, c.want)
+		}
+	}
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+Time(rng.Float64()*100), func() {})
+		s.Step()
+	}
+}
+
+// Randomized stress: thousands of events scheduled from inside callbacks
+// still execute in global time order.
+func TestStressNestedScheduling(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(99))
+	var last Time = -1
+	count := 0
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if s.Now() < last {
+			t.Fatal("time went backwards")
+		}
+		last = s.Now()
+		count++
+		if depth == 0 {
+			return
+		}
+		kids := rng.Intn(3)
+		for i := 0; i < kids; i++ {
+			s.After(Time(rng.Float64()*50), func() { spawn(depth - 1) })
+		}
+	}
+	for i := 0; i < 200; i++ {
+		s.At(Time(rng.Float64()*1000), func() { spawn(6) })
+	}
+	s.Run()
+	if count < 200 {
+		t.Fatalf("only %d events ran", count)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events left", s.Pending())
+	}
+}

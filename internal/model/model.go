@@ -1,0 +1,239 @@
+// Package model implements the paper's analytical configuration models
+// (Section 2): seek-distance and rotational-delay reduction, combined
+// read and read/write latency on an SR-Array, queued service time under
+// RLOOK, single-disk and array throughput, and the aspect-ratio optimizer
+// that turns a disk budget plus workload parameters into a concrete
+// Ds x Dr x Dm configuration.
+//
+// Following the paper, S is the full-stroke seek time, R the rotation
+// period, D the disk budget, p the fraction of I/Os that do not force
+// foreground replica propagation (Eq. 8), q the per-disk queue length, and
+// L the workload's seek-locality index (average random seek distance over
+// average observed seek distance; 1 = uniformly random).
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/disk"
+)
+
+// Disk holds the two mechanical parameters the models use.
+type Disk struct {
+	S des.Time // full-stroke seek time
+	R des.Time // rotation period
+}
+
+// effS returns the seek parameter adjusted for locality: the models use
+// S/3 as the average random seek, and a workload with locality L seeks
+// 1/L as far on average.
+func effS(d Disk, l float64) float64 {
+	if l <= 0 {
+		l = 1
+	}
+	return float64(d.S) / l
+}
+
+// AvgSeekSingle returns the average random-read seek time on one disk,
+// S/3 (Teorey & Pinkerton base case).
+func AvgSeekSingle(d Disk) des.Time { return d.S / 3 }
+
+// SeekMirror returns the average seek time of a D-way mirror choosing the
+// closest head: S/(2D+1) (Bitton & Gray).
+func SeekMirror(d Disk, dWay int) des.Time {
+	return des.Time(float64(d.S) / float64(2*dWay+1))
+}
+
+// SeekStripe returns the average seek time of a D-way stripe with disks
+// kept partially empty: S/(3D) (Matloff, Eq. 1).
+func SeekStripe(d Disk, dWay int) des.Time {
+	return des.Time(float64(d.S) / float64(3*dWay))
+}
+
+// RotEven returns the average read rotational delay with D evenly spaced
+// replicas: R/(2D) (Eq. 2).
+func RotEven(d Disk, replicas int) des.Time {
+	return des.Time(float64(d.R) / float64(2*replicas))
+}
+
+// RotRandom returns the average read rotational delay with D randomly
+// placed replicas: R/(D+1) (Section 2.2) — strictly worse than even
+// spacing, which is why the SR-Array uses the latter.
+func RotRandom(d Disk, replicas int) des.Time {
+	return des.Time(float64(d.R) / float64(replicas+1))
+}
+
+// RotWriteAll returns the average rotational delay to write all D replicas
+// on a track in one pass: R - R/(2D) (Eq. 3).
+func RotWriteAll(d Disk, replicas int) des.Time {
+	return d.R - des.Time(float64(d.R)/float64(2*replicas))
+}
+
+// ReadLatency returns the overhead-independent random-read latency of a
+// Ds x Dr SR-Array (Eq. 4), with seek locality L.
+func ReadLatency(d Disk, ds, dr int, l float64) des.Time {
+	return des.Time(effS(d, l)/float64(3*ds) + float64(d.R)/float64(2*dr))
+}
+
+// WriteLatency returns the worst-case (foreground-propagated) write
+// latency (Eq. 7).
+func WriteLatency(d Disk, ds, dr int, l float64) des.Time {
+	return des.Time(effS(d, l)/float64(3*ds) + float64(d.R) - float64(d.R)/float64(2*dr))
+}
+
+// Latency returns the average read/write latency with foreground-
+// propagation ratio p (Eq. 9): pT_R + (1-p)T_W.
+func Latency(d Disk, ds, dr int, p, l float64) des.Time {
+	s := effS(d, l) / float64(3*ds)
+	r := float64(d.R)
+	return des.Time(s + p*r/float64(2*dr) + (1-p)*(r-r/float64(2*dr)))
+}
+
+// QueuedLatency returns the average per-request service time of a single
+// RLOOK stroke with q requests queued (Eq. 12). The paper notes this
+// approximation holds for q > 3; callers should fall back to Latency for
+// sparse queues.
+func QueuedLatency(d Disk, ds, dr int, p, q, l float64) des.Time {
+	s := effS(d, l) / (q * float64(ds))
+	r := float64(d.R)
+	return des.Time(s + p*r/float64(2*dr) + (1-p)*(r-r/float64(2*dr)))
+}
+
+// OptimalAspect returns the real-valued optimum (Ds, Dr) for D disks.
+// Three regimes, from the paper:
+//
+//   - Low load, read-only or background propagation (p=1, q<=3): Eq. (5).
+//   - Low load with foreground writes: Eq. (10) — the rotational benefit
+//     shrinks by (2p-1).
+//   - Queued (q > 3): Eq. (13) — queueing amortizes seeks, favoring taller
+//     (more rotational) configurations.
+//
+// For p <= 0.5 replication cannot pay off (Section 2.2) and the optimum
+// degenerates to pure striping: (D, 1).
+func OptimalAspect(d Disk, D int, p, q, l float64) (ds, dr float64) {
+	if p <= 0.5 {
+		return float64(D), 1
+	}
+	s := effS(d, l)
+	r := float64(d.R)
+	if q > 3 {
+		ds = math.Sqrt(2 * s / (r * (2*p - 1) * q) * float64(D))
+	} else {
+		ds = math.Sqrt(2 * s / (3 * r * (2*p - 1)) * float64(D))
+	}
+	if ds < 1 {
+		ds = 1
+	}
+	if ds > float64(D) {
+		ds = float64(D)
+	}
+	return ds, float64(D) / ds
+}
+
+// BestLatency returns the overhead-independent latency at the real-valued
+// optimal aspect ratio (Eqs. 6, 11, 14).
+func BestLatency(d Disk, D int, p, q, l float64) des.Time {
+	s := effS(d, l)
+	r := float64(d.R)
+	if p <= 0.5 {
+		if q > 3 {
+			return des.Time(s/(q*float64(D)) + r/2)
+		}
+		return des.Time(s/(3*float64(D)) + r/2)
+	}
+	if q > 3 {
+		return des.Time(math.Sqrt(2*s*r*(2*p-1)/(q*float64(D))) + (1-p)*r)
+	}
+	return des.Time(math.Sqrt(2*s*r*(2*p-1)/(3*float64(D))) + (1-p)*r)
+}
+
+// ThroughputSingle returns the single-disk throughput 1/(To + Tbest)
+// (Eq. 15), in requests per microsecond; multiply by 1e6 for IOPS.
+func ThroughputSingle(overhead, tBest des.Time) float64 {
+	return 1 / float64(overhead+tBest)
+}
+
+// ThroughputArray returns the D-disk throughput with Q outstanding
+// requests system-wide (Eq. 16): load imbalance idles disks when Q is not
+// much larger than D.
+func ThroughputArray(D int, Q int, n1 float64) float64 {
+	idle := math.Pow(1-1/float64(D), float64(Q))
+	return float64(D) * (1 - idle) * n1
+}
+
+// MaxDr is the prototype's practical cap on rotational replication: with
+// replicas on different tracks and a ~900us track switch, propagating more
+// than six copies within one revolution is infeasible (Section 4.1).
+const MaxDr = 6
+
+// Constraint restricts which Dr values a concrete array can realize (e.g.
+// the layout requires Dr to divide the number of disk surfaces). Nil
+// allows any.
+type Constraint func(dr int) bool
+
+// Optimize picks the best integer configuration for D disks: Dr is the
+// largest admissible integer factor of D not exceeding the real-valued
+// optimum (and at most MaxDr), exactly the paper's rounding rule; Ds gets
+// the rest.
+func Optimize(d Disk, D int, p, q, l float64, allowed Constraint) (ds, dr int, err error) {
+	if D < 1 {
+		return 0, 0, fmt.Errorf("model: need at least one disk")
+	}
+	_, drOpt := OptimalAspect(d, D, p, q, l)
+	best := 1
+	for f := 1; f <= D && float64(f) <= drOpt; f++ {
+		if D%f != 0 || f > MaxDr {
+			continue
+		}
+		if allowed != nil && !allowed(f) {
+			continue
+		}
+		best = f
+	}
+	return D / best, best, nil
+}
+
+// LatencyInt evaluates Eq. (9)/(12) at an integer configuration, choosing
+// the queued form when q > 3 — the comparison surface behind Figure 7.
+func LatencyInt(d Disk, ds, dr int, p, q, l float64) des.Time {
+	if q > 3 {
+		return QueuedLatency(d, ds, dr, p, q, l)
+	}
+	return Latency(d, ds, dr, p, l)
+}
+
+// MechParams evaluates the latency models against a measured seek curve
+// instead of the linear seek-time-proportional-to-distance approximation.
+// The paper notes that "seek latency is approximately a linear function of
+// seek distance only for long seeks"; on a drive whose short seeks are
+// dominated by the arm's acceleration limit, a LOOK stroke of q short
+// seeks costs far more than one full stroke divided by q, and this variant
+// captures that.
+type MechParams struct {
+	Seek    disk.SeekCurve
+	R       des.Time
+	UsedCyl int // cylinders the data occupies on each disk (≈ C/Ds)
+}
+
+// QueuedLatencyMech is Eq. (12) with the seek term evaluated as one seek
+// of span/(q+1) cylinders on the measured curve, where span is the
+// locality-shrunk data band. For sparse queues (q <= 3) it degrades to the
+// random-access form (span/3), mirroring the paper's guidance.
+func (m MechParams) QueuedLatencyMech(dr int, p, q, l float64) des.Time {
+	if l < 1 {
+		l = 1
+	}
+	span := float64(m.UsedCyl) / l
+	var dist float64
+	if q > 3 {
+		dist = span / (q + 1)
+	} else {
+		dist = span / 3
+	}
+	seek := m.Seek.Time(int(dist), false)
+	r := float64(m.R)
+	rot := p*r/float64(2*dr) + (1-p)*(r-r/float64(2*dr))
+	return seek + des.Time(rot)
+}

@@ -1,0 +1,342 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/disk"
+)
+
+// diskpkgForModel builds the reference drive for MechParams tests.
+func diskpkgForModel(t *testing.T) *disk.Disk {
+	t.Helper()
+	return disk.ST39133LWV().MustNew()
+}
+
+var seagate = Disk{S: 10500 * des.Microsecond, R: 6000 * des.Microsecond}
+
+func TestSeekReductionFormulas(t *testing.T) {
+	// Eq. (1): striping beats mirroring at equal D for seek reduction.
+	for _, d := range []int{2, 4, 8} {
+		stripe := SeekStripe(seagate, d)
+		mirror := SeekMirror(seagate, d)
+		if stripe >= mirror {
+			t.Errorf("D=%d: stripe seek %v not better than mirror %v", d, stripe, mirror)
+		}
+	}
+	if got, want := SeekStripe(seagate, 1), AvgSeekSingle(seagate); got != want {
+		t.Errorf("1-way stripe %v != single disk %v", got, want)
+	}
+}
+
+// Monte-Carlo check of the mirror seek model S/(2D+1): the expected
+// minimum of D uniform seek distances.
+func TestMirrorSeekMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 2, 3, 5} {
+		var sum float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			target := rng.Float64()
+			best := 1.0
+			for k := 0; k < d; k++ {
+				if dist := math.Abs(rng.Float64() - target); dist < best {
+					best = dist
+				}
+			}
+			sum += best
+		}
+		got := sum / n
+		want := 1 / float64(2*d+1)
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("D=%d: Monte-Carlo mean min distance %.4f, model %.4f", d, got, want)
+		}
+	}
+}
+
+// Monte-Carlo check of Eq. (2) and the random-placement variant: evenly
+// spaced replicas give R/2D; random placement gives R/(D+1).
+func TestRotationalModelsMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{1, 2, 3, 6} {
+		var sumEven, sumRand float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			head := rng.Float64()
+			// Evenly spaced replicas at j/d + phase.
+			phase := rng.Float64()
+			best := 1.0
+			for j := 0; j < d; j++ {
+				w := math.Mod(phase+float64(j)/float64(d)-head+2, 1)
+				if w < best {
+					best = w
+				}
+			}
+			sumEven += best
+			// Randomly placed replicas.
+			best = 1.0
+			for j := 0; j < d; j++ {
+				if w := math.Mod(rng.Float64()-head+1, 1); w < best {
+					best = w
+				}
+			}
+			sumRand += best
+		}
+		gotEven := des.Time(sumEven / n * float64(seagate.R))
+		wantEven := RotEven(seagate, d)
+		if math.Abs(float64(gotEven-wantEven)) > 0.03*float64(seagate.R) {
+			t.Errorf("D=%d even: %v, model %v", d, gotEven, wantEven)
+		}
+		gotRand := des.Time(sumRand / n * float64(seagate.R))
+		wantRand := RotRandom(seagate, d)
+		if math.Abs(float64(gotRand-wantRand)) > 0.03*float64(seagate.R) {
+			t.Errorf("D=%d random: %v, model %v", d, gotRand, wantRand)
+		}
+	}
+}
+
+func TestReadPlusWriteRotationIsR(t *testing.T) {
+	// Section 2.2: R_r(D) + R_w(D) = R for any D.
+	for d := 1; d <= 8; d++ {
+		sum := RotEven(seagate, d) + RotWriteAll(seagate, d)
+		if math.Abs(float64(sum-seagate.R)) > 1e-9 {
+			t.Errorf("D=%d: Rr+Rw = %v, want R = %v", d, sum, seagate.R)
+		}
+	}
+}
+
+func TestOptimalAspectMatchesClosedForm(t *testing.T) {
+	// Eq. (5) with p=1, q<=3: Ds = sqrt(2S/(3R) * D).
+	for _, D := range []int{4, 6, 12, 36} {
+		ds, dr := OptimalAspect(seagate, D, 1, 1, 1)
+		want := math.Sqrt(2 * float64(seagate.S) / (3 * float64(seagate.R)) * float64(D))
+		if math.Abs(ds-want) > 1e-9 {
+			t.Errorf("D=%d: Ds = %v, want %v", D, ds, want)
+		}
+		if math.Abs(ds*dr-float64(D)) > 1e-9 {
+			t.Errorf("D=%d: Ds*Dr = %v, want D", D, ds*dr)
+		}
+	}
+}
+
+func TestOptimalAspectIsActuallyOptimal(t *testing.T) {
+	// The closed form should beat any perturbed aspect ratio under Eq. (9).
+	for _, p := range []float64{1.0, 0.9, 0.7} {
+		ds, _ := OptimalAspect(seagate, 12, p, 1, 1)
+		eval := func(dsF float64) float64 {
+			drF := 12 / dsF
+			s := float64(seagate.S) / (3 * dsF)
+			r := float64(seagate.R)
+			return s + p*r/(2*drF) + (1-p)*(r-r/(2*drF))
+		}
+		best := eval(ds)
+		for _, f := range []float64{0.5, 0.8, 1.25, 2} {
+			alt := ds * f
+			if alt < 1 || alt > 12 {
+				continue
+			}
+			if eval(alt) < best-1e-9 {
+				t.Errorf("p=%v: perturbed Ds=%.2f beats optimum Ds=%.2f", p, alt, ds)
+			}
+		}
+	}
+}
+
+func TestLowPPrecludesReplication(t *testing.T) {
+	ds, dr := OptimalAspect(seagate, 8, 0.4, 1, 1)
+	if dr != 1 || ds != 8 {
+		t.Errorf("p=0.4: got %vx%v, want pure striping 8x1", ds, dr)
+	}
+	dsI, drI, err := Optimize(seagate, 8, 0.3, 1, 1, nil)
+	if err != nil || drI != 1 || dsI != 8 {
+		t.Errorf("Optimize at p=0.3: %dx%d (%v), want 8x1", dsI, drI, err)
+	}
+}
+
+func TestQueueFavorsRotationalReplication(t *testing.T) {
+	// Eq. (13): larger q shifts disks from seek to rotation.
+	_, drShort := OptimalAspect(seagate, 36, 1, 1, 1)
+	_, drLong := OptimalAspect(seagate, 36, 1, 16, 1)
+	if drLong <= drShort {
+		t.Errorf("Dr(q=16) = %.2f not greater than Dr(q=1) = %.2f", drLong, drShort)
+	}
+}
+
+func TestLocalityFavorsRotationalReplication(t *testing.T) {
+	// High seek locality (short seeks) means seeks matter less: taller
+	// grids win. Cello disk 6 (L=16.67) should want more replicas than
+	// TPC-C (L=1.04).
+	_, drLocal := OptimalAspect(seagate, 6, 1, 1, 16.67)
+	_, drRandom := OptimalAspect(seagate, 6, 1, 1, 1.04)
+	if drLocal <= drRandom {
+		t.Errorf("Dr(L=16.67) = %.2f not greater than Dr(L=1.04) = %.2f", drLocal, drRandom)
+	}
+}
+
+func TestOptimizeIntegerRules(t *testing.T) {
+	// Dr must divide D, not exceed MaxDr, not exceed the real optimum, and
+	// respect extra constraints.
+	ds, dr, err := Optimize(seagate, 6, 1, 1, 4.14, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds*dr != 6 {
+		t.Fatalf("Ds*Dr = %d, want 6", ds*dr)
+	}
+	if dr < 1 || dr > MaxDr {
+		t.Fatalf("Dr = %d out of range", dr)
+	}
+	// With a constraint rejecting everything above 2:
+	_, dr2, err := Optimize(seagate, 6, 1, 1, 4.14, func(d int) bool { return d <= 2 })
+	if err != nil || dr2 > 2 {
+		t.Fatalf("constrained Dr = %d (%v), want <= 2", dr2, err)
+	}
+	// D=9: factors 1,3,9; cap at MaxDr means Dr in {1,3}. The paper notes
+	// the practical Dr for D=9 is 3 despite a real-valued optimum near 6+.
+	_, dr9, err := Optimize(seagate, 9, 1, 1, 16.67, nil)
+	if err != nil || dr9 != 3 {
+		t.Fatalf("D=9 high locality: Dr = %d (%v), want 3", dr9, err)
+	}
+}
+
+func TestBestLatencyScalesAsSqrtD(t *testing.T) {
+	// Rule of thumb: response time improves as sqrt(D) when p -> 1.
+	t4 := float64(BestLatency(seagate, 4, 1, 1, 1))
+	t16 := float64(BestLatency(seagate, 16, 1, 1, 1))
+	ratio := t4 / t16
+	if math.Abs(ratio-2) > 0.05 {
+		t.Errorf("latency(4)/latency(16) = %.3f, want ~2 (sqrt scaling)", ratio)
+	}
+}
+
+func TestThroughputArrayLimits(t *testing.T) {
+	n1 := ThroughputSingle(2700, 10000)
+	// With Q >> D, throughput approaches D*N1.
+	full := ThroughputArray(8, 1000, n1)
+	if math.Abs(full-8*n1) > 0.01*8*n1 {
+		t.Errorf("saturated throughput %v, want ~%v", full, 8*n1)
+	}
+	// With Q = 1, exactly one disk works: throughput ~ N1.
+	one := ThroughputArray(8, 1, n1)
+	if math.Abs(one-n1) > 1e-12 {
+		t.Errorf("Q=1 throughput %v, want %v", one, n1)
+	}
+	// Monotone in Q.
+	prev := 0.0
+	for q := 1; q <= 64; q *= 2 {
+		cur := ThroughputArray(8, q, n1)
+		if cur <= prev {
+			t.Errorf("throughput not increasing at Q=%d", q)
+		}
+		prev = cur
+	}
+}
+
+func TestLatencyDegeneratesToStriping(t *testing.T) {
+	// Dr=1 must reduce Eq. (9) to seek + R/2 regardless of p (no replicas
+	// to propagate: T_R == T_W).
+	for _, p := range []float64{0.2, 0.5, 1} {
+		got := Latency(seagate, 6, 1, p, 1)
+		want := des.Time(float64(seagate.S)/(3*6) + float64(seagate.R)/2)
+		if math.Abs(float64(got-want)) > 1e-9 {
+			t.Errorf("p=%v: latency %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestOptimizeRejectsBadInput(t *testing.T) {
+	if _, _, err := Optimize(seagate, 0, 1, 1, 1, nil); err == nil {
+		t.Error("D=0 accepted")
+	}
+}
+
+func TestReadWriteLatencyConsistency(t *testing.T) {
+	// Eq. (9) interpolates between Eq. (4) at p=1 and Eq. (7) at p=0.
+	for _, cfg := range []struct{ ds, dr int }{{2, 3}, {6, 1}, {1, 6}} {
+		r := ReadLatency(seagate, cfg.ds, cfg.dr, 1)
+		if got := Latency(seagate, cfg.ds, cfg.dr, 1, 1); math.Abs(float64(got-r)) > 1e-9 {
+			t.Errorf("%dx%d: Latency(p=1) = %v, ReadLatency = %v", cfg.ds, cfg.dr, got, r)
+		}
+		w := WriteLatency(seagate, cfg.ds, cfg.dr, 1)
+		if got := Latency(seagate, cfg.ds, cfg.dr, 0, 1); math.Abs(float64(got-w)) > 1e-9 {
+			t.Errorf("%dx%d: Latency(p=0) = %v, WriteLatency = %v", cfg.ds, cfg.dr, got, w)
+		}
+		if w <= r && cfg.dr > 1 {
+			t.Errorf("%dx%d: write latency %v not above read latency %v", cfg.ds, cfg.dr, w, r)
+		}
+	}
+}
+
+func TestQueuedLatencyAmortizesSeek(t *testing.T) {
+	// Eq. (12): deeper queues amortize the stroke; rotation term is
+	// unchanged.
+	l4 := QueuedLatency(seagate, 2, 3, 1, 4, 1)
+	l16 := QueuedLatency(seagate, 2, 3, 1, 16, 1)
+	if l16 >= l4 {
+		t.Errorf("q=16 latency %v not below q=4 %v", l16, l4)
+	}
+	// As q grows the latency approaches the pure rotational term.
+	l1000 := QueuedLatency(seagate, 2, 3, 1, 1000, 1)
+	rot := RotEven(seagate, 3)
+	if math.Abs(float64(l1000-rot)) > 50 {
+		t.Errorf("q=1000 latency %v, want ~%v (rotation only)", l1000, rot)
+	}
+}
+
+func TestBestLatencyLowPBranches(t *testing.T) {
+	// p <= 0.5: pure striping, with and without queueing.
+	lo := BestLatency(seagate, 8, 0.4, 1, 1)
+	want := des.Time(float64(seagate.S)/(3*8) + float64(seagate.R)/2)
+	if math.Abs(float64(lo-want)) > 1e-9 {
+		t.Errorf("BestLatency(p=0.4, q=1) = %v, want %v", lo, want)
+	}
+	loQ := BestLatency(seagate, 8, 0.4, 8, 1)
+	wantQ := des.Time(float64(seagate.S)/(8*8) + float64(seagate.R)/2)
+	if math.Abs(float64(loQ-wantQ)) > 1e-9 {
+		t.Errorf("BestLatency(p=0.4, q=8) = %v, want %v", loQ, wantQ)
+	}
+	// And the queued high-p branch.
+	hiQ := BestLatency(seagate, 8, 1, 8, 1)
+	if hiQ >= BestLatency(seagate, 8, 1, 1, 1) {
+		t.Errorf("queued best latency %v not below unqueued", hiQ)
+	}
+}
+
+func TestLatencyIntChoosesForm(t *testing.T) {
+	// q <= 3 uses Eq. (9); q > 3 uses Eq. (12).
+	if got, want := LatencyInt(seagate, 2, 3, 1, 2, 1), Latency(seagate, 2, 3, 1, 1); got != want {
+		t.Errorf("LatencyInt(q=2) = %v, want Latency %v", got, want)
+	}
+	if got, want := LatencyInt(seagate, 2, 3, 1, 8, 1), QueuedLatency(seagate, 2, 3, 1, 8, 1); got != want {
+		t.Errorf("LatencyInt(q=8) = %v, want QueuedLatency %v", got, want)
+	}
+}
+
+func TestMechParamsBehavior(t *testing.T) {
+	d := diskpkgForModel(t)
+	m := MechParams{Seek: d.Seek, R: d.NominalR, UsedCyl: d.Geom.LogicalCylinders() / 2}
+	// Deeper queues and more replicas both reduce the queued latency.
+	base := m.QueuedLatencyMech(2, 1, 8, 1)
+	if deeper := m.QueuedLatencyMech(2, 1, 32, 1); deeper >= base {
+		t.Errorf("deeper queue latency %v not below %v", deeper, base)
+	}
+	if taller := m.QueuedLatencyMech(6, 1, 8, 1); taller >= base {
+		t.Errorf("more replicas latency %v not below %v", taller, base)
+	}
+	// Locality shortens the seek term.
+	if local := m.QueuedLatencyMech(2, 1, 8, 4); local >= base {
+		t.Errorf("local latency %v not below %v", local, base)
+	}
+	// The sparse-queue form uses span/3 and is larger than the queued one.
+	sparse := m.QueuedLatencyMech(2, 1, 2, 1)
+	if sparse <= base {
+		t.Errorf("sparse-queue latency %v not above queued %v", sparse, base)
+	}
+	// All writes foreground (p=0): rotation term grows toward R.
+	w := m.QueuedLatencyMech(2, 0, 8, 1)
+	if w <= base {
+		t.Errorf("p=0 latency %v not above p=1 %v", w, base)
+	}
+}

@@ -1,0 +1,416 @@
+// Package sched implements the per-drive scheduling policies evaluated in
+// the paper: FCFS, SSTF, LOOK and SATF for conventional layouts, and the
+// replica-aware extensions RLOOK and RSATF for SR-Arrays (Sections 2.4 and
+// 3.3). A scheduler instance is per-drive and may carry state (LOOK's scan
+// direction); the drive's queue is owned by the array layer and passed in
+// at each decision point.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/calib"
+	"repro/internal/des"
+	"repro/internal/disk"
+)
+
+// Replica is one complete copy of a request's data on a drive: usually a
+// single extent, occasionally split in two where the layout wraps around a
+// track.
+type Replica struct {
+	Extents []disk.Extent
+}
+
+// first returns the leading extent, which determines positioning cost.
+func (r Replica) first() disk.Extent { return r.Extents[0] }
+
+// totalSectors sums the extents.
+func (r Replica) totalSectors() int {
+	n := 0
+	for _, e := range r.Extents {
+		n += e.Count
+	}
+	return n
+}
+
+// Request is one schedulable physical I/O on a drive, with its rotational
+// replica alternatives. All replicas of a block live on the same cylinder
+// (the SR-Array invariant), so replica choice never changes seek order —
+// only rotational cost.
+type Request struct {
+	ID       uint64
+	Write    bool
+	Arrive   des.Time
+	Replicas []Replica
+	// AllowedReplicas masks which replicas may serve a read (a replica can
+	// be stale while a delayed write is still propagating). Nil means all.
+	AllowedReplicas []bool
+	// AllowedFn, if set, overrides AllowedReplicas with a live predicate,
+	// evaluated at scheduling time. First-copy writes use it so that
+	// consecutive writes to a chunk keep landing on the one replica that
+	// is fresh, preserving the at-least-one-fresh-replica invariant.
+	AllowedFn func(replica int) bool
+	// Priority requests (head-tracking reference reads) preempt the scan
+	// order.
+	Priority bool
+	// Tag carries array-layer bookkeeping through the scheduler untouched.
+	Tag interface{}
+}
+
+// allowed reports whether replica i may be used.
+func (r *Request) allowed(i int) bool {
+	if r.AllowedFn != nil {
+		return r.AllowedFn(i)
+	}
+	if r.Write {
+		return true
+	}
+	return r.AllowedReplicas == nil || r.AllowedReplicas[i]
+}
+
+// Choice is a scheduling decision.
+type Choice struct {
+	Index     int // index into the queue
+	Replica   int // index into Request.Replicas
+	Predicted des.Time
+}
+
+// Scheduler picks the next request (and replica) from a drive queue.
+type Scheduler interface {
+	Name() string
+	Pick(now des.Time, arm disk.State, queue []*Request, est calib.AccessEstimator) (Choice, bool)
+}
+
+// New constructs a scheduler by policy name: "fcfs", "rfcfs" (FCFS order
+// with rotationally-best replica choice, the host side of the TCQ
+// experiment), "sstf", "look", "clook", "satf", "rlook", "rsatf", and the
+// aged variants "asatf"/"rasatf" that bound starvation.
+func New(policy string) (Scheduler, error) {
+	switch policy {
+	case "fcfs":
+		return fcfs{}, nil
+	case "rfcfs":
+		return fcfs{rotational: true}, nil
+	case "sstf":
+		return sstf{}, nil
+	case "look":
+		return &look{}, nil
+	case "clook":
+		return &look{circular: true}, nil
+	case "satf":
+		return satf{}, nil
+	case "asatf":
+		return satf{aging: DefaultAgingWeight}, nil
+	case "rlook":
+		return &look{rotational: true}, nil
+	case "rsatf":
+		return satf{rotational: true}, nil
+	case "rasatf":
+		return satf{rotational: true, aging: DefaultAgingWeight}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", policy)
+	}
+}
+
+// IsRotationAware reports whether a policy name exploits rotational
+// replicas.
+func IsRotationAware(policy string) bool {
+	return policy == "rlook" || policy == "rsatf" || policy == "rfcfs" || policy == "rasatf"
+}
+
+// priorityPick returns any pending priority request (served FCFS among
+// themselves), used by every policy: reference-sector reads must not
+// starve behind a long scan or the head tracker drifts.
+func priorityPick(queue []*Request) (int, bool) {
+	for i, r := range queue {
+		if r.Priority {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// schedulable reports whether any replica of the request may currently be
+// used. A duplicate write on a mirror disk whose replicas are all stale is
+// not schedulable there (a fresher mirror will claim it).
+func schedulable(req *Request) bool {
+	for i := range req.Replicas {
+		if req.allowed(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// bestReplica returns the allowed replica of queue[i] with the lowest
+// predicted access time. When rotational is false only the primary (or
+// first allowed) replica is considered — conventional schedulers do not
+// know about rotational copies. The request must be schedulable.
+func bestReplica(now des.Time, arm disk.State, req *Request, est calib.AccessEstimator, rotational bool) (int, des.Time) {
+	bestIdx, bestT := -1, des.Time(math.Inf(1))
+	for i, rep := range req.Replicas {
+		if !req.allowed(i) {
+			continue
+		}
+		var t des.Time
+		if len(rep.Extents) == 1 {
+			e := rep.first()
+			t = est.Access(arm, disk.Request{Start: e.Start, Count: e.Count, Write: req.Write}, now)
+		} else {
+			// Fragmented replicas pay per-extent overheads; rank on the
+			// full run so a contiguous copy wins for large transfers.
+			t = est.AccessRun(arm, rep.Extents, req.Write, now)
+		}
+		if t < bestT {
+			bestIdx, bestT = i, t
+		}
+		if !rotational {
+			break // only the first allowed replica
+		}
+	}
+	if bestIdx < 0 {
+		panic("sched: bestReplica on an unschedulable request")
+	}
+	return bestIdx, bestT
+}
+
+// --- FCFS / RFCFS ---
+
+// fcfs serves requests in arrival order. With rotational=true (RFCFS) it
+// still serves in arrival order but picks the rotationally closest
+// replica of each request — the host contribution that remains valuable
+// when the drive itself schedules (TCQ).
+type fcfs struct {
+	rotational bool
+}
+
+func (f fcfs) Name() string {
+	if f.rotational {
+		return "rfcfs"
+	}
+	return "fcfs"
+}
+
+func (f fcfs) Pick(now des.Time, arm disk.State, queue []*Request, est calib.AccessEstimator) (Choice, bool) {
+	if len(queue) == 0 {
+		return Choice{}, false
+	}
+	idx := -1
+	if i, ok := priorityPick(queue); ok {
+		idx = i
+	} else {
+		for i, r := range queue {
+			if !schedulable(r) {
+				continue
+			}
+			if idx < 0 || r.Arrive < queue[idx].Arrive {
+				idx = i
+			}
+		}
+	}
+	if idx < 0 {
+		return Choice{}, false
+	}
+	rep, t := bestReplica(now, arm, queue[idx], est, f.rotational)
+	return Choice{Index: idx, Replica: rep, Predicted: t}, true
+}
+
+// --- SSTF ---
+
+type sstf struct{}
+
+func (sstf) Name() string { return "sstf" }
+
+func (sstf) Pick(now des.Time, arm disk.State, queue []*Request, est calib.AccessEstimator) (Choice, bool) {
+	if len(queue) == 0 {
+		return Choice{}, false
+	}
+	if i, ok := priorityPick(queue); ok {
+		rep, t := bestReplica(now, arm, queue[i], est, false)
+		return Choice{Index: i, Replica: rep, Predicted: t}, true
+	}
+	bestIdx, bestDist := -1, math.MaxInt64
+	for i, r := range queue {
+		if !schedulable(r) {
+			continue
+		}
+		d := absCyl(r.Replicas[0].first().Start.Cyl - arm.Cyl)
+		if d < bestDist {
+			bestIdx, bestDist = i, d
+		}
+	}
+	if bestIdx < 0 {
+		return Choice{}, false
+	}
+	rep, t := bestReplica(now, arm, queue[bestIdx], est, false)
+	return Choice{Index: bestIdx, Replica: rep, Predicted: t}, true
+}
+
+func absCyl(d int) int {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// --- LOOK / RLOOK ---
+
+// look scans the cylinders alternately outward and inward, servicing the
+// nearest request in the scan direction. With rotational=true (RLOOK) it
+// additionally picks the rotationally closest replica of the chosen
+// request (paper Section 2.4). With circular=true (C-LOOK) the scan only
+// moves upward, jumping back to the lowest pending cylinder at the end of
+// each sweep — trading a little mean latency for lower variance.
+type look struct {
+	rotational bool
+	circular   bool
+	dirUp      bool
+	inited     bool
+}
+
+func (l *look) Name() string {
+	if l.circular {
+		return "clook"
+	}
+	if l.rotational {
+		return "rlook"
+	}
+	return "look"
+}
+
+func (l *look) Pick(now des.Time, arm disk.State, queue []*Request, est calib.AccessEstimator) (Choice, bool) {
+	if len(queue) == 0 {
+		return Choice{}, false
+	}
+	if !l.inited {
+		l.dirUp, l.inited = true, true
+	}
+	if i, ok := priorityPick(queue); ok {
+		rep, t := bestReplica(now, arm, queue[i], est, l.rotational)
+		return Choice{Index: i, Replica: rep, Predicted: t}, true
+	}
+	idx := l.scan(arm, queue)
+	if idx < 0 {
+		if l.circular {
+			// Wrap: restart the upward sweep from the lowest pending
+			// cylinder.
+			idx = l.scan(disk.State{Cyl: -1}, queue)
+		} else {
+			l.dirUp = !l.dirUp
+			idx = l.scan(arm, queue)
+		}
+	}
+	if idx < 0 {
+		return Choice{}, false
+	}
+	// Among same-cylinder requests, take the rotationally best (RLOOK) or
+	// the earliest arrival (plain LOOK has no rotational knowledge).
+	cyl := queue[idx].Replicas[0].first().Start.Cyl
+	if l.rotational {
+		bestIdx, bestRep, bestT := -1, 0, des.Time(math.Inf(1))
+		for i, r := range queue {
+			if !schedulable(r) || r.Replicas[0].first().Start.Cyl != cyl {
+				continue
+			}
+			rep, t := bestReplica(now, arm, r, est, true)
+			if t < bestT {
+				bestIdx, bestRep, bestT = i, rep, t
+			}
+		}
+		return Choice{Index: bestIdx, Replica: bestRep, Predicted: bestT}, true
+	}
+	bestIdx := idx
+	for i, r := range queue {
+		if schedulable(r) && r.Replicas[0].first().Start.Cyl == cyl && r.Arrive < queue[bestIdx].Arrive {
+			bestIdx = i
+		}
+	}
+	rep, t := bestReplica(now, arm, queue[bestIdx], est, false)
+	return Choice{Index: bestIdx, Replica: rep, Predicted: t}, true
+}
+
+// scan returns the queue index whose cylinder is nearest to the arm in the
+// current direction, or -1 if none lies that way.
+func (l *look) scan(arm disk.State, queue []*Request) int {
+	bestIdx, bestDist := -1, math.MaxInt64
+	for i, r := range queue {
+		if !schedulable(r) {
+			continue
+		}
+		c := r.Replicas[0].first().Start.Cyl
+		var d int
+		if l.dirUp {
+			d = c - arm.Cyl
+		} else {
+			d = arm.Cyl - c
+		}
+		if d < 0 {
+			continue
+		}
+		if d < bestDist {
+			bestIdx, bestDist = i, d
+		}
+	}
+	return bestIdx
+}
+
+// --- SATF / RSATF ---
+
+// DefaultAgingWeight is the credit per microsecond of waiting that the
+// aged SATF variants subtract from a request's predicted access time.
+// Greedy SATF can starve a request whose position stays inconvenient;
+// with aging, every microsecond in the queue makes a request look
+// cheaper, so its wait is bounded (cf. the batched/weighted variants in
+// Jacobson & Wilkes and Seltzer et al.). The default bounds any wait to
+// roughly (access-time range)/weight ≈ 200 ms on the reference drive
+// while costing only a few percent of mean latency.
+const DefaultAgingWeight = 0.05
+
+// satf greedily picks the request with the shortest predicted access time.
+// With rotational=true (RSATF) all rotational replicas compete; otherwise
+// only primaries do. A nonzero aging weight subtracts credit for time
+// spent waiting.
+type satf struct {
+	rotational bool
+	aging      float64
+}
+
+func (s satf) Name() string {
+	switch {
+	case s.rotational && s.aging > 0:
+		return "rasatf"
+	case s.rotational:
+		return "rsatf"
+	case s.aging > 0:
+		return "asatf"
+	}
+	return "satf"
+}
+
+func (s satf) Pick(now des.Time, arm disk.State, queue []*Request, est calib.AccessEstimator) (Choice, bool) {
+	if len(queue) == 0 {
+		return Choice{}, false
+	}
+	if i, ok := priorityPick(queue); ok {
+		rep, t := bestReplica(now, arm, queue[i], est, s.rotational)
+		return Choice{Index: i, Replica: rep, Predicted: t}, true
+	}
+	bestIdx, bestRep := -1, 0
+	bestT := des.Time(math.Inf(1))
+	bestScore := math.Inf(1)
+	for i, r := range queue {
+		if !schedulable(r) {
+			continue
+		}
+		rep, t := bestReplica(now, arm, r, est, s.rotational)
+		score := float64(t) - s.aging*float64(now-r.Arrive)
+		if score < bestScore {
+			bestIdx, bestRep, bestT, bestScore = i, rep, t, score
+		}
+	}
+	if bestIdx < 0 {
+		return Choice{}, false
+	}
+	return Choice{Index: bestIdx, Replica: bestRep, Predicted: bestT}, true
+}

@@ -1,0 +1,124 @@
+// Package stats provides the small statistical toolkit the experiments
+// use: streaming collectors with percentiles, and rate (throughput)
+// accounting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/des"
+)
+
+// Collector accumulates samples (typically response times in
+// microseconds).
+type Collector struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add records one sample.
+func (c *Collector) Add(v des.Time) {
+	c.vals = append(c.vals, float64(v))
+	c.sorted = false
+}
+
+// N returns the sample count.
+func (c *Collector) N() int { return len(c.vals) }
+
+// Mean returns the sample mean.
+func (c *Collector) Mean() des.Time {
+	if len(c.vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range c.vals {
+		s += v
+	}
+	return des.Time(s / float64(len(c.vals)))
+}
+
+// Std returns the population standard deviation.
+func (c *Collector) Std() des.Time {
+	n := len(c.vals)
+	if n == 0 {
+		return 0
+	}
+	m := float64(c.Mean())
+	var s float64
+	for _, v := range c.vals {
+		d := v - m
+		s += d * d
+	}
+	return des.Time(math.Sqrt(s / float64(n)))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank.
+func (c *Collector) Percentile(p float64) des.Time {
+	if len(c.vals) == 0 {
+		return 0
+	}
+	if !c.sorted {
+		sort.Float64s(c.vals)
+		c.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(c.vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(c.vals) {
+		rank = len(c.vals)
+	}
+	return des.Time(c.vals[rank-1])
+}
+
+// Max returns the largest sample.
+func (c *Collector) Max() des.Time {
+	if len(c.vals) == 0 {
+		return 0
+	}
+	if c.sorted {
+		return des.Time(c.vals[len(c.vals)-1])
+	}
+	best := c.vals[0]
+	for _, v := range c.vals[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return des.Time(best)
+}
+
+// Min returns the smallest sample.
+func (c *Collector) Min() des.Time {
+	if len(c.vals) == 0 {
+		return 0
+	}
+	if c.sorted {
+		return des.Time(c.vals[0])
+	}
+	best := c.vals[0]
+	for _, v := range c.vals[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return des.Time(best)
+}
+
+// Summary is a one-line description of the distribution.
+func (c *Collector) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		c.N(), c.Mean(), c.Percentile(50), c.Percentile(95), c.Percentile(99), c.Max())
+}
+
+// Throughput converts a completion count over a simulated interval into
+// I/Os per second.
+func Throughput(completed int, elapsed des.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(completed) / elapsed.Seconds()
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	var c Collector
+	for _, v := range []des.Time{10, 20, 30, 40, 50} {
+		c.Add(v)
+	}
+	if c.N() != 5 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if c.Mean() != 30 {
+		t.Fatalf("Mean = %v", c.Mean())
+	}
+	if c.Min() != 10 || c.Max() != 50 {
+		t.Fatalf("Min/Max = %v/%v", c.Min(), c.Max())
+	}
+	if got := c.Percentile(50); got != 30 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := c.Percentile(100); got != 50 {
+		t.Fatalf("P100 = %v", got)
+	}
+	want := des.Time(math.Sqrt(200))
+	if diff := math.Abs(float64(c.Std() - want)); diff > 1e-9 {
+		t.Fatalf("Std = %v, want %v", c.Std(), want)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	var c Collector
+	if c.Mean() != 0 || c.Std() != 0 || c.Percentile(50) != 0 || c.Min() != 0 || c.Max() != 0 {
+		t.Fatal("empty collector should return zeros")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c Collector
+		for i := 0; i < 100; i++ {
+			c.Add(des.Time(rng.Float64() * 1000))
+		}
+		prev := des.Time(-1)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 100} {
+			v := c.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return c.Percentile(100) == c.Max() && c.Percentile(0.0001) == c.Min()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddAfterPercentile(t *testing.T) {
+	var c Collector
+	c.Add(10)
+	_ = c.Percentile(50)
+	c.Add(5)
+	if c.Percentile(1) != 5 {
+		t.Fatal("collector stale after Add following Percentile")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(500, des.Second); got != 500 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := Throughput(10, 0); got != 0 {
+		t.Fatalf("Throughput with zero elapsed = %v", got)
+	}
+}

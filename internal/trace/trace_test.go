@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Name:        "sample",
+		DataSectors: 100000,
+		Records: []Record{
+			{At: 0, Off: 100, Count: 8},
+			{At: 1000, Write: true, Off: 200, Count: 8},
+			{At: 2000, Off: 200, Count: 8}, // read-after-write
+			{At: 3000, Write: true, Async: true, Off: 300, Count: 16},
+			{At: 4000, Off: 50000, Count: 4},
+		},
+	}
+}
+
+func TestScaleHalvesInterarrival(t *testing.T) {
+	tr := sample().Scale(2)
+	if tr.Records[1].At != 500 {
+		t.Fatalf("scaled arrival = %v, want 500", tr.Records[1].At)
+	}
+	if tr.Records[4].At != 2000 {
+		t.Fatalf("scaled arrival = %v, want 2000", tr.Records[4].At)
+	}
+	// Original untouched.
+	if sample().Records[1].At != 1000 {
+		t.Fatal("Scale mutated the source")
+	}
+}
+
+func TestScaleRejectsBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sample().Scale(0)
+}
+
+func TestComputeStats(t *testing.T) {
+	s := sample().ComputeStats()
+	if s.IOs != 5 {
+		t.Fatalf("IOs = %d", s.IOs)
+	}
+	if math.Abs(s.ReadFrac-0.6) > 1e-9 {
+		t.Fatalf("ReadFrac = %v, want 0.6", s.ReadFrac)
+	}
+	if math.Abs(s.AsyncFrac-0.2) > 1e-9 {
+		t.Fatalf("AsyncFrac = %v, want 0.2", s.AsyncFrac)
+	}
+	if math.Abs(s.RAWFrac-0.2) > 1e-9 {
+		t.Fatalf("RAWFrac = %v, want 0.2 (one RAW read of five I/Os)", s.RAWFrac)
+	}
+	if s.Duration != 4000 {
+		t.Fatalf("Duration = %v", s.Duration)
+	}
+}
+
+func TestRAWWindowExpires(t *testing.T) {
+	tr := &Trace{
+		DataSectors: 100000,
+		Records: []Record{
+			{At: 0, Write: true, Off: 100, Count: 8},
+			{At: des.Hour + des.Second, Off: 100, Count: 8}, // too late
+		},
+	}
+	if s := tr.ComputeStats(); s.RAWFrac != 0 {
+		t.Fatalf("RAWFrac = %v, want 0 (window expired)", s.RAWFrac)
+	}
+}
+
+func TestSeekLocalityOfUniformTraceIsNearOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := &Trace{DataSectors: 1 << 24}
+	for i := 0; i < 20000; i++ {
+		tr.Records = append(tr.Records, Record{At: des.Time(i), Off: rng.Int63n(tr.DataSectors), Count: 1})
+	}
+	s := tr.ComputeStats()
+	if s.SeekLocality < 0.9 || s.SeekLocality > 1.1 {
+		t.Fatalf("uniform trace L = %v, want ~1", s.SeekLocality)
+	}
+}
+
+func TestMergeConcatenatesAndSorts(t *testing.T) {
+	a := &Trace{DataSectors: 1000, Records: []Record{{At: 10, Off: 5, Count: 1}, {At: 30, Off: 6, Count: 1}}}
+	b := &Trace{DataSectors: 2000, Records: []Record{{At: 20, Off: 7, Count: 1}}}
+	m := Merge("m", a, b)
+	if m.DataSectors != 3000 {
+		t.Fatalf("merged volume = %d", m.DataSectors)
+	}
+	if len(m.Records) != 3 {
+		t.Fatalf("merged records = %d", len(m.Records))
+	}
+	if m.Records[1].Off != 1007 {
+		t.Fatalf("second record offset = %d, want 1007 (b's space starts at 1000)", m.Records[1].Off)
+	}
+	for i := 1; i < len(m.Records); i++ {
+		if m.Records[i].At < m.Records[i-1].At {
+			t.Fatal("merge not time-sorted")
+		}
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	var buf bytes.Buffer
+	src := sample()
+	if err := src.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != src.Name || got.DataSectors != src.DataSectors {
+		t.Fatalf("header mismatch: %q %d", got.Name, got.DataSectors)
+	}
+	if len(got.Records) != len(src.Records) {
+		t.Fatalf("%d records, want %d", len(got.Records), len(src.Records))
+	}
+	for i := range src.Records {
+		a, b := src.Records[i], got.Records[i]
+		if a.Write != b.Write || a.Async != b.Async || a.Off != b.Off || a.Count != b.Count {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if math.Abs(float64(a.At-b.At)) > 0.01 {
+			t.Fatalf("record %d time mismatch", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("12.0 x 5 5\n")); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := Read(bytes.NewBufferString("not-a-number r 5 5\n")); err == nil {
+		t.Fatal("bad line accepted")
+	}
+}
+
+func TestClip(t *testing.T) {
+	tr := sample()
+	c := tr.Clip(2)
+	if len(c.Records) != 2 {
+		t.Fatalf("clipped to %d", len(c.Records))
+	}
+	if got := tr.Clip(100); got != tr {
+		t.Fatal("over-clip should return the original")
+	}
+}

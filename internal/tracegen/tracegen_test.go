@@ -1,0 +1,131 @@
+package tracegen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/trace"
+)
+
+// genStats generates a shortened trace and returns its measured
+// statistics.
+func genStats(t *testing.T, p Params, d des.Time) (Params, trace.Stats) {
+	t.Helper()
+	p = p.WithDuration(d)
+	tr := Generate(p)
+	if len(tr.Records) == 0 {
+		t.Fatal("empty trace")
+	}
+	return p, tr.ComputeStats()
+}
+
+func relClose(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) < tol
+	}
+	return math.Abs(got-want)/want <= tol
+}
+
+func checkTable3(t *testing.T, name string, p Params, s trace.Stats) {
+	t.Helper()
+	if !relClose(s.AvgIOPS, p.MeanIOPS, 0.25) {
+		t.Errorf("%s: IOPS %.2f, target %.2f", name, s.AvgIOPS, p.MeanIOPS)
+	}
+	if !relClose(s.ReadFrac, p.ReadFrac, 0.10) {
+		t.Errorf("%s: read fraction %.3f, target %.3f", name, s.ReadFrac, p.ReadFrac)
+	}
+	if p.AsyncFrac > 0 && !relClose(s.AsyncFrac, p.AsyncFrac, 0.20) {
+		t.Errorf("%s: async fraction %.3f, target %.3f", name, s.AsyncFrac, p.AsyncFrac)
+	}
+	if !relClose(s.SeekLocality, p.Locality, 0.30) {
+		t.Errorf("%s: seek locality %.2f, target %.2f", name, s.SeekLocality, p.Locality)
+	}
+	if p.RAWFrac > 0 && !relClose(s.RAWFrac, p.RAWFrac, 0.40) {
+		t.Errorf("%s: RAW fraction %.4f, target %.4f", name, s.RAWFrac, p.RAWFrac)
+	}
+}
+
+func TestCelloBaseMatchesTable3(t *testing.T) {
+	p, s := genStats(t, CelloBase(1), 8*des.Hour)
+	checkTable3(t, "cello-base", p, s)
+}
+
+func TestCelloDisk6MatchesTable3(t *testing.T) {
+	p, s := genStats(t, CelloDisk6(2), 8*des.Hour)
+	checkTable3(t, "cello-disk6", p, s)
+}
+
+func TestTPCCMatchesTable3(t *testing.T) {
+	p, s := genStats(t, TPCC(3), 5*des.Minute)
+	checkTable3(t, "tpcc", p, s)
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Generate(CelloBase(7).WithDuration(des.Hour))
+	b := Generate(CelloBase(7).WithDuration(des.Hour))
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("same seed, different record count")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("same seed, record %d differs", i)
+		}
+	}
+	c := Generate(CelloBase(8).WithDuration(des.Hour))
+	if len(a.Records) == len(c.Records) {
+		same := true
+		for i := range a.Records {
+			if a.Records[i] != c.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestRecordsInBoundsAndOrdered(t *testing.T) {
+	for _, p := range []Params{CelloBase(4), CelloDisk6(5), TPCC(6)} {
+		tr := Generate(p.WithDuration(20 * des.Minute))
+		prev := des.Time(-1)
+		for i, r := range tr.Records {
+			if r.At < prev {
+				t.Fatalf("%s: record %d out of order", p.Name, i)
+			}
+			prev = r.At
+			if r.Off < 0 || r.Off+int64(r.Count) > tr.DataSectors {
+				t.Fatalf("%s: record %d out of bounds: off=%d count=%d", p.Name, i, r.Off, r.Count)
+			}
+			if r.Count < 1 {
+				t.Fatalf("%s: record %d empty", p.Name, i)
+			}
+			if r.Async && !r.Write {
+				t.Fatalf("%s: async read at %d", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestTPCCHasNoAsyncWrites(t *testing.T) {
+	tr := Generate(TPCC(9).WithDuration(des.Minute))
+	for _, r := range tr.Records {
+		if r.Async {
+			t.Fatal("TPC-C trace contains an async write")
+		}
+	}
+}
+
+func TestVolumeSizesMatchPaper(t *testing.T) {
+	if got := CelloBase(0).DataSectors * 512; got < int64(8.3e9) || got > int64(8.5e9) {
+		t.Errorf("cello-base volume %d bytes, want ~8.4GB", got)
+	}
+	if got := CelloDisk6(0).DataSectors * 512; got < int64(1.25e9) || got > int64(1.35e9) {
+		t.Errorf("cello-disk6 volume %d bytes, want ~1.3GB", got)
+	}
+	if got := TPCC(0).DataSectors * 512; got < int64(8.9e9) || got > int64(9.1e9) {
+		t.Errorf("tpcc volume %d bytes, want ~9.0GB", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Package mimdraid is the public API of the MimdRAID reproduction: a disk
+// array that trades capacity for performance by combining striping,
+// rotational replication, and mirroring (Yu et al., "Trading Capacity for
+// Performance in a Disk Array", OSDI 2000).
+//
+// The package wraps the internal substrates (mechanical disk simulator,
+// discrete-event kernel, calibration/head-tracking layer, schedulers,
+// layout, and the array controller) behind a small surface:
+//
+//	sim := mimdraid.NewSim()
+//	arr, err := mimdraid.New(sim, mimdraid.Options{
+//		Config: mimdraid.SRArray(2, 3),   // 2-way stripe x 3 rotational replicas
+//		Policy: "rsatf",
+//	})
+//	arr.Read(off, sectors, func(r mimdraid.Result) { ... })
+//	sim.Run()
+//
+// Use Recommend to let the paper's analytic models pick the aspect ratio
+// for a disk budget and workload profile.
+package mimdraid
+
+import (
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/model"
+)
+
+// Time is a simulated duration or timestamp in microseconds.
+type Time = des.Time
+
+// Sim is the discrete-event simulation kernel every simulated component
+// shares.
+type Sim = des.Sim
+
+// NewSim returns an empty simulator at time zero.
+func NewSim() *Sim { return des.New() }
+
+// Config selects an array configuration: Ds-way striping, Dr rotational
+// replicas per disk, Dm mirror copies (Ds*Dr*Dm disks total).
+type Config = layout.Config
+
+// Convenience constructors for the paper's named configurations.
+var (
+	// Striping is a D x 1 x 1 array.
+	Striping = layout.Striping
+	// Mirror is a 1 x 1 x D array.
+	Mirror = layout.Mirror
+	// RAID10 is a (D/2) x 1 x 2 array.
+	RAID10 = layout.RAID10
+	// SRArray is a Ds x Dr x 1 array.
+	SRArray = layout.SRArray
+)
+
+// Options configures an Array; see core.Options for field documentation.
+type Options = core.Options
+
+// Array is a configured MimdRAID logical disk.
+type Array struct {
+	*core.Array
+}
+
+// Result reports one completed request.
+type Result = core.Result
+
+// DiskSpec describes a drive model in datasheet terms.
+type DiskSpec = disk.Spec
+
+// ST39133LWV returns the reference 9.1 GB, 10000 RPM drive of the paper's
+// prototype.
+func ST39133LWV() DiskSpec { return disk.ST39133LWV() }
+
+// New builds an array of simulated drives on sim.
+func New(sim *Sim, opts Options) (*Array, error) {
+	a, err := core.New(sim, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Array{a}, nil
+}
+
+// Read submits a read of count sectors at logical sector offset off. done
+// (optional) runs at completion, through the simulator.
+func (a *Array) Read(off int64, count int, done func(Result)) error {
+	return a.Submit(core.Read, off, count, false, done)
+}
+
+// Write submits a synchronous write.
+func (a *Array) Write(off int64, count int, done func(Result)) error {
+	return a.Submit(core.Write, off, count, false, done)
+}
+
+// WriteAsync submits an asynchronous write (reported separately, as the
+// paper excludes sync-daemon traffic from response times).
+func (a *Array) WriteAsync(off int64, count int, done func(Result)) error {
+	return a.Submit(core.Write, off, count, true, done)
+}
+
+// Workload profiles a workload for configuration recommendation, in the
+// terms of the paper's models.
+type Workload struct {
+	// P is the fraction of I/Os that do not force foreground replica
+	// propagation (Eq. 8); 1 when writes can always propagate in the
+	// background, below 0.5 replication cannot pay off.
+	P float64
+	// Q is the typical per-disk queue length (busyness).
+	Q float64
+	// L is the seek-locality index (1 = uniformly random).
+	L float64
+}
+
+// Recommend picks the best Ds x Dr configuration for a budget of D disks
+// of the given spec under the workload profile, honoring the layout's
+// constraint that Dr divide the number of disk surfaces and the
+// prototype's Dr <= 6 cap.
+func Recommend(spec DiskSpec, d int, w Workload) (Config, error) {
+	md := model.Disk{S: spec.MaxSeek, R: des.Time(60e6 / spec.RPM)}
+	ds, dr, err := model.Optimize(md, d, w.P, w.Q, w.L, func(dr int) bool {
+		return spec.Heads%dr == 0
+	})
+	if err != nil {
+		return Config{}, err
+	}
+	return layout.SRArray(ds, dr), nil
+}
+
+// PredictLatency evaluates the paper's latency model (Eqs. 9/12) for a
+// configuration under a workload profile — the overhead-independent part
+// of the expected response time.
+func PredictLatency(spec DiskSpec, cfg Config, w Workload) Time {
+	md := model.Disk{S: spec.MaxSeek, R: des.Time(60e6 / spec.RPM)}
+	return model.LatencyInt(md, cfg.Ds, cfg.Dr*cfg.Dm, w.P, w.Q, w.L)
+}

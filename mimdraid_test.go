@@ -1,0 +1,84 @@
+package mimdraid
+
+import (
+	"testing"
+)
+
+func TestPublicAPIQuickPath(t *testing.T) {
+	sim := NewSim()
+	arr, err := New(sim, Options{Config: SRArray(2, 3), Policy: "rsatf", DataSectors: 1 << 21, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lat Time
+	reads := 0
+	for i := int64(0); i < 20; i++ {
+		if err := arr.Read(i*4096, 8, func(r Result) {
+			lat += r.Latency()
+			reads++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrote := false
+	if err := arr.Write(512, 8, func(Result) { wrote = true }); err != nil {
+		t.Fatal(err)
+	}
+	async := false
+	if err := arr.WriteAsync(1024, 8, func(r Result) { async = r.Async }); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if reads != 20 || !wrote || !async {
+		t.Fatalf("reads=%d wrote=%v async=%v", reads, wrote, async)
+	}
+	if lat <= 0 {
+		t.Fatal("non-positive cumulative latency")
+	}
+}
+
+func TestRecommendMatchesPaperExamples(t *testing.T) {
+	spec := ST39133LWV()
+	// Cello base, 6 disks, background propagation, low load, L=4.14: the
+	// paper's model recommends 2x3.
+	cfg, err := Recommend(spec, 6, Workload{P: 1, Q: 1, L: 4.14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Ds != 2 || cfg.Dr != 3 {
+		t.Fatalf("Cello base D=6: recommended %v, paper says 2x3", cfg)
+	}
+	// TPC-C, 36 disks, L~1: the paper's best is 9x4.
+	cfg, err = Recommend(spec, 36, Workload{P: 1, Q: 1, L: 1.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Ds != 9 || cfg.Dr != 4 {
+		t.Fatalf("TPC-C D=36: recommended %v, paper says 9x4", cfg)
+	}
+	// Write-dominated workloads preclude replication.
+	cfg, err = Recommend(spec, 8, Workload{P: 0.4, Q: 1, L: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dr != 1 {
+		t.Fatalf("p=0.4: recommended %v, want pure striping", cfg)
+	}
+}
+
+func TestPredictLatencyOrdering(t *testing.T) {
+	spec := ST39133LWV()
+	w := Workload{P: 1, Q: 1, L: 1}
+	// At 6 disks, the recommended SR-Array should predict lower latency
+	// than pure striping and pure rotational replication.
+	rec, err := Recommend(spec, 6, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lRec := PredictLatency(spec, rec, w)
+	lStripe := PredictLatency(spec, Striping(6), w)
+	lTall := PredictLatency(spec, SRArray(1, 6), w)
+	if lRec > lStripe || lRec > lTall {
+		t.Fatalf("recommended %v (%v) not best: striping %v, 1x6 %v", rec, lRec, lStripe, lTall)
+	}
+}

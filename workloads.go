@@ -1,0 +1,106 @@
+package mimdraid
+
+import (
+	"repro/internal/advisor"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/workload"
+)
+
+// Trace is a timestamped block-level workload.
+type Trace = trace.Trace
+
+// TraceStats are the workload characteristics of Table 3.
+type TraceStats = trace.Stats
+
+// CelloBaseTrace synthesizes a trace with the profile of the paper's
+// merged Cello file-system workload (Table 3), sized to about ios I/Os.
+func CelloBaseTrace(seed int64, ios int) *Trace {
+	return genTrace(tracegen.CelloBase(seed), ios)
+}
+
+// CelloDisk6Trace synthesizes the news-spool workload profile.
+func CelloDisk6Trace(seed int64, ios int) *Trace {
+	return genTrace(tracegen.CelloDisk6(seed), ios)
+}
+
+// TPCCTrace synthesizes the TPC-C disk workload profile.
+func TPCCTrace(seed int64, ios int) *Trace {
+	return genTrace(tracegen.TPCC(seed), ios)
+}
+
+func genTrace(p tracegen.Params, ios int) *Trace {
+	d := Time(float64(ios) / p.MeanIOPS * 1e6)
+	return tracegen.Generate(p.WithDuration(d))
+}
+
+// ReplayStats summarizes a trace replay.
+type ReplayStats struct {
+	Completed int
+	// Mean, P95 and Max describe the response times of reads and
+	// synchronous writes, the population the paper reports.
+	Mean, P95, Max Time
+	// Saturated reports the offered load exceeded the array's sustainable
+	// throughput (queues grew without bound).
+	Saturated bool
+}
+
+// Replay plays a trace open-loop against the array, submitting each
+// record at its timestamp, and returns response-time statistics.
+func Replay(sim *Sim, a *Array, tr *Trace) (*ReplayStats, error) {
+	res, err := workload.Replay(sim, a.Array, tr)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayStats{
+		Completed: res.Completed,
+		Mean:      res.Sync.Mean(),
+		P95:       res.Sync.Percentile(95),
+		Max:       res.Sync.Max(),
+		Saturated: res.Saturated,
+	}, nil
+}
+
+// ClosedLoop is an Iometer-style generator: Outstanding requests kept in
+// flight, ReadFrac-weighted reads of Sectors sectors, offsets drawn with
+// seek-locality index Locality.
+type ClosedLoop = workload.Iometer
+
+// LoadResult summarizes a closed-loop run.
+type LoadResult struct {
+	Completed int
+	IOPS      float64
+	Mean, P95 Time
+}
+
+// RunClosedLoop drives the array with total requests under the closed
+// loop and reports throughput and latency.
+func RunClosedLoop(sim *Sim, a *Array, w ClosedLoop, total int) (*LoadResult, error) {
+	res, err := w.Run(sim, a.Array, total)
+	if err != nil {
+		return nil, err
+	}
+	return &LoadResult{
+		Completed: res.Completed,
+		IOPS:      res.IOPS,
+		Mean:      res.Latency.Mean(),
+		P95:       res.Latency.Percentile(95),
+	}, nil
+}
+
+// Collector re-exports the sample collector for callers aggregating their
+// own response times.
+type Collector = stats.Collector
+
+// Advisor re-exports the online workload monitor that implements the
+// paper's future-work item: estimating the model parameters (p, q, L)
+// from the live request stream and recommending reconfigurations.
+type Advisor = advisor.Monitor
+
+// AdvisorObservation is one request fed to an Advisor.
+type AdvisorObservation = advisor.Observation
+
+// NewAdvisor builds an online workload monitor for a volume of
+// dataSectors sectors.
+func NewAdvisor(dataSectors int64) *Advisor { return advisor.NewMonitor(dataSectors) }

@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full gate: compile, vet, and the test suite under the race detector
+# (the parallel experiment runner makes -race meaningful).
+check:
+	scripts/check.sh
+
+# Capture the benchmark suite as BENCH_<date>.json for cross-PR tracking.
+bench:
+	scripts/bench.sh

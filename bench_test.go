@@ -12,9 +12,13 @@
 package mimdraid
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/tracegen"
 )
 
 // benchCfg keeps each iteration around a second of wall time.
@@ -163,6 +167,29 @@ func BenchmarkFigure13WriteRatio(b *testing.B) {
 		"sr-w100-iops":     {"q8 3x2x1 RSATF", 100.0},
 		"stripe-w100-iops": {"q8 6x1x1 SATF", 100.0},
 	})
+}
+
+// BenchmarkFigure6Parallel measures the end-to-end figure with one worker
+// versus every core, trace cache cleared each iteration so the synthesis
+// cost is included: the ratio of the two sub-benchmarks is the wall-time
+// speedup the parallel runner buys on this machine.
+func BenchmarkFigure6Parallel(b *testing.B) {
+	workers := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			prev := runner.SetParallelism(w)
+			defer runner.SetParallelism(prev)
+			for i := 0; i < b.N; i++ {
+				tracegen.ResetCache()
+				if _, err := experiments.Figure6(benchCfg(), "cello-base"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkAblationReplicaPlacement(b *testing.B) {

@@ -12,9 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -26,8 +28,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		format     = flag.String("format", "table", "figure output format: table | csv")
 		timing     = flag.Bool("time", false, "print wall time per experiment")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"simulation jobs to run concurrently (1 = sequential; results are identical at any setting)")
 	)
 	flag.Parse()
+	runner.SetParallelism(*parallel)
 
 	if *list {
 		for _, n := range experiments.Names() {
@@ -46,6 +51,7 @@ func main() {
 	if *exp == "all" {
 		names = experiments.Names()
 	}
+	total := time.Now()
 	for _, name := range names {
 		start := time.Now()
 		out, err := experiments.Run(name, cfg)
@@ -57,5 +63,9 @@ func main() {
 		if *timing {
 			fmt.Printf("  [%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if *timing && len(names) > 1 {
+		fmt.Printf("[%d experiments took %v at -parallel %d]\n",
+			len(names), time.Since(total).Round(time.Millisecond), runner.Parallelism())
 	}
 }

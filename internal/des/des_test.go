@@ -1,8 +1,11 @@
 package des
 
 import (
+	"container/heap"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -187,6 +190,97 @@ func BenchmarkEventThroughput(b *testing.B) {
 		s.At(s.Now()+Time(rng.Float64()*100), func() {})
 		s.Step()
 	}
+}
+
+// Regression: popped events must not keep their closure reachable through
+// the queue's backing array. Before the typed heap, the backing array held
+// the last-popped event's fn (and everything it captured) until the slot
+// was overwritten by a later push — on a drained queue, forever.
+func TestPoppedEventsReleaseClosures(t *testing.T) {
+	s := New()
+	var collected atomic.Bool // the finalizer runs on the runtime's goroutine
+	func() {
+		big := make([]byte, 1<<20)
+		runtime.SetFinalizer(&big[0], func(*byte) { collected.Store(true) })
+		s.At(1, func() { _ = big[0] })
+	}()
+	// Keep the queue (and its backing array) alive while draining it.
+	s.At(2, func() {})
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", s.Pending())
+	}
+	for i := 0; i < 5 && !collected.Load(); i++ {
+		runtime.GC()
+	}
+	if !collected.Load() {
+		t.Fatal("popped event's closure still reachable from the event queue")
+	}
+	_ = s // the Sim itself is still live here
+}
+
+// oldEventHeap replicates the pre-optimization container/heap event queue
+// so BenchmarkDESPushPop can compare the two shapes side by side.
+type oldEventHeap []event
+
+func (h oldEventHeap) Len() int { return len(h) }
+func (h oldEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h oldEventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *oldEventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *oldEventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// BenchmarkDESPushPop holds a queue of depth events and measures one
+// push+pop cycle — the steady-state shape of a simulation with many
+// components scheduled ahead.
+func BenchmarkDESPushPop(b *testing.B) {
+	const depth = 256
+	b.Run("typed4ary", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		var q eventQueue
+		var seq uint64
+		now := Time(0)
+		for i := 0; i < depth; i++ {
+			seq++
+			q.push(event{at: now + Time(rng.Float64()*1000), seq: seq, fn: func() {}})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := q.pop()
+			now = e.at
+			seq++
+			q.push(event{at: now + Time(rng.Float64()*1000), seq: seq, fn: e.fn})
+		}
+	})
+	b.Run("containerheap", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		var q oldEventHeap
+		var seq uint64
+		now := Time(0)
+		for i := 0; i < depth; i++ {
+			seq++
+			heap.Push(&q, event{at: now + Time(rng.Float64()*1000), seq: seq, fn: func() {}})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := heap.Pop(&q).(event)
+			now = e.at
+			seq++
+			heap.Push(&q, event{at: now + Time(rng.Float64()*1000), seq: seq, fn: e.fn})
+		}
+	})
 }
 
 // Randomized stress: thousands of events scheduled from inside callbacks

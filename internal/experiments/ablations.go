@@ -9,6 +9,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/layout"
 	"repro/internal/model"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 	"repro/internal/workload"
@@ -85,29 +86,40 @@ func AblationSlack(c Config) (*Figure, error) {
 	}
 	misses := Series{Label: "rotation miss %"}
 	lat := Series{Label: "mean latency (us)"}
-	for i, pol := range []struct {
+	policies := []struct {
 		fixed int
 		set   bool
 	}{
 		{0, true}, {0, false}, {24, true},
-	} {
-		pol := pol
+	}
+	type slackRes struct {
+		miss float64
+		mean des.Time
+	}
+	res, err := runner.Map(len(policies), func(i int) (slackRes, error) {
+		pol := policies[i]
 		sim, a, err := buildArray(layout.SRArray(2, 3), "rsatf", microVolume(), c.Seed, func(o *coreOptions) {
 			o.Prototype = true
 			o.FixedSlack = pol.fixed
 			o.FixedSlackSet = pol.set
 		})
 		if err != nil {
-			return nil, err
+			return slackRes{}, err
 		}
 		w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: 4, Locality: 3, Seed: c.Seed}
-		res, err := w.Run(sim, a, c.IometerIOs)
+		r, err := w.Run(sim, a, c.IometerIOs)
 		if err != nil {
-			return nil, err
+			return slackRes{}, err
 		}
 		missRate, _, _, _, _ := a.Accuracy().Report(a.RotationPeriod())
-		misses.Add(float64(i), missRate*100)
-		lat.Add(float64(i), float64(res.Latency.Mean()))
+		return slackRes{missRate, r.Latency.Mean()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		misses.Add(float64(i), r.miss*100)
+		lat.Add(float64(i), float64(r.mean))
 	}
 	f.Series = []Series{misses, lat}
 	return f, nil
@@ -138,26 +150,34 @@ func AblationCoalesce(c Config) (*Figure, error) {
 			Count: 8,
 		})
 	}
-	for _, on := range []bool{true, false} {
+	settings := []bool{true, false}
+	cmds, err := runner.Map(len(settings), func(i int) (int64, error) {
+		on := settings[i]
 		sim, a, err := buildArray(layout.SRArray(1, 3), "rsatf", tr.DataSectors, c.Seed, func(o *coreOptions) {
 			o.DisableCoalescing = !on
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		if _, err := workload.Replay(sim, a, tr); err != nil {
-			return nil, err
+			return 0, err
 		}
 		a.Drain(des.Hour)
-		var cmds int64
-		for i := 0; i < a.Disks(); i++ {
-			cmds += a.Commands(i)
+		var total int64
+		for d := 0; d < a.Disks(); d++ {
+			total += a.Commands(d)
 		}
+		return total, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, on := range settings {
 		x := 0.0
 		if on {
 			x = 1
 		}
-		s.Add(x, float64(cmds)/float64(n))
+		s.Add(x, float64(cmds[i])/float64(n))
 	}
 	f.Series = []Series{s}
 	return f, nil
@@ -174,26 +194,31 @@ func AblationMirrorSched(c Config) (*Figure, error) {
 	}
 	dup := Series{Label: "duplicate-request"}
 	static := Series{Label: "static nearest"}
+	type slot struct {
+		series *Series
+		x      float64
+	}
+	var jobs []iometerJob
+	var slots []slot
 	for _, q := range []int{4, 8, 16, 32} {
 		for _, disable := range []bool{false, true} {
 			disable := disable
-			sim, a, err := buildArray(layout.Mirror(6), "satf", microVolume(), c.Seed, func(o *coreOptions) {
-				o.DisableDupRequests = disable
-			})
-			if err != nil {
-				return nil, err
-			}
 			w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: q, Locality: 3, Seed: c.Seed}
-			res, err := w.Run(sim, a, c.IometerIOs)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, iometerJob{cfg: layout.Mirror(6), policy: "satf", w: w, total: c.IometerIOs,
+				mod: func(o *coreOptions) { o.DisableDupRequests = disable }})
+			s := &dup
 			if disable {
-				static.Add(float64(q), float64(res.Latency.Mean()))
-			} else {
-				dup.Add(float64(q), float64(res.Latency.Mean()))
+				s = &static
 			}
+			slots = append(slots, slot{s, float64(q)})
 		}
+	}
+	res, err := runIometerJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		slots[i].series.Add(slots[i].x, float64(r.Latency.Mean()))
 	}
 	f.Series = []Series{dup, static}
 	return f, nil
@@ -225,8 +250,13 @@ func AblationOpportunistic(c Config) (*Figure, error) {
 	}
 	miss := Series{Label: "rotation miss %"}
 	refs := Series{Label: "reference reads after bootstrap"}
-	for _, on := range []bool{false, true} {
-		on := on
+	settings := []bool{false, true}
+	type oppRes struct {
+		miss float64
+		refs int64
+	}
+	res, err := runner.Map(len(settings), func(i int) (oppRes, error) {
+		on := settings[i]
 		sim, a, err := buildArray(layout.SRArray(2, 3), "rsatf", microVolume(), c.Seed, func(o *coreOptions) {
 			o.Prototype = true
 			o.OpportunisticTracking = on
@@ -234,19 +264,25 @@ func AblationOpportunistic(c Config) (*Figure, error) {
 			o.FixedSlackSet = true
 		})
 		if err != nil {
-			return nil, err
+			return oppRes{}, err
 		}
 		bootRefs := a.RefReads
 		if _, err := workload.Replay(sim, a, tr); err != nil {
-			return nil, err
+			return oppRes{}, err
 		}
 		missRate, _, _, _, _ := a.Accuracy().Report(a.RotationPeriod())
+		return oppRes{missRate, a.RefReads - bootRefs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, on := range settings {
 		x := 0.0
 		if on {
 			x = 1
 		}
-		miss.Add(x, missRate*100)
-		refs.Add(x, float64(a.RefReads-bootRefs))
+		miss.Add(x, res[i].miss*100)
+		refs.Add(x, float64(res[i].refs))
 	}
 	f.Series = []Series{miss, refs}
 	return f, nil
@@ -265,30 +301,36 @@ func AblationIntraTrack(c Config) (*Figure, error) {
 	}
 	randLat := Series{Label: "random 4KB read latency (us)"}
 	seqBW := Series{Label: "sequential bandwidth (MB/s)"}
-	for _, cross := range []bool{false, true} {
+	settings := []bool{false, true}
+	type itRes struct {
+		lat  des.Time
+		mbps float64
+	}
+	res, err := runner.Map(len(settings), func(i int) (itRes, error) {
+		cross := settings[i]
 		cfg := layout.Config{Ds: 1, Dr: 2, Dm: 1, IntraTrack: !cross}
 		sim, a, err := buildArray(cfg, "rsatf", microVolume()/2, c.Seed, nil)
 		if err != nil {
-			return nil, err
+			return itRes{}, err
 		}
 		// Small random reads.
 		w := workload.Iometer{ReadFrac: 1, Sectors: 8, Outstanding: 1, Locality: 3, Seed: c.Seed}
-		res, err := w.Run(sim, a, c.IometerIOs/4)
+		r, err := w.Run(sim, a, c.IometerIOs/4)
 		if err != nil {
-			return nil, err
+			return itRes{}, err
 		}
 		// Large sequential reads: 1 MB at a stride, measured end to end.
 		const big = 2048 // sectors = 1 MB
 		var seqTime des.Time
 		reads := 24
-		for i := 0; i < reads; i++ {
-			off := int64(i) * big * 4
+		for k := 0; k < reads; k++ {
+			off := int64(k) * big * 4
 			done := false
 			var lat des.Time
 			if err := a.Submit(coreRead, off, big, false, func(r coreResult) {
 				lat, done = r.Latency(), true
 			}); err != nil {
-				return nil, err
+				return itRes{}, err
 			}
 			for !done {
 				sim.Step()
@@ -296,12 +338,18 @@ func AblationIntraTrack(c Config) (*Figure, error) {
 			seqTime += lat
 		}
 		mbps := float64(reads) * float64(big) * 512 / 1e6 / (seqTime.Seconds())
+		return itRes{r.Latency.Mean(), mbps}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cross := range settings {
 		x := 0.0
 		if cross {
 			x = 1
 		}
-		randLat.Add(x, float64(res.Latency.Mean()))
-		seqBW.Add(x, mbps)
+		randLat.Add(x, float64(res[i].lat))
+		seqBW.Add(x, res[i].mbps)
 	}
 	f.Series = []Series{randLat, seqBW}
 	return f, nil
@@ -323,16 +371,20 @@ func Section25(c Config) (*Figure, error) {
 	sm := Series{Label: "2x1x3 striped mirror (SATF)"}
 	srLat := Series{Label: "SR-Array mean latency (us)"}
 	smLat := Series{Label: "striped mirror mean latency (us)"}
-	for _, q := range []int{1, 4, 16, 32} {
+	qs := []int{1, 4, 16, 32}
+	var jobs []iometerJob
+	for _, q := range qs {
 		w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: q, Locality: 3, Seed: c.Seed}
-		resSR, err := runIometer(layout.SRArray(2, 3), "rsatf", w, c.IometerIOs, c.Seed, nil)
-		if err != nil {
-			return nil, err
-		}
-		resSM, err := runIometer(layout.Config{Ds: 2, Dr: 1, Dm: 3}, "satf", w, c.IometerIOs, c.Seed, nil)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			iometerJob{cfg: layout.SRArray(2, 3), policy: "rsatf", w: w, total: c.IometerIOs},
+			iometerJob{cfg: layout.Config{Ds: 2, Dr: 1, Dm: 3}, policy: "satf", w: w, total: c.IometerIOs})
+	}
+	res, err := runIometerJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, q := range qs {
+		resSR, resSM := res[2*i], res[2*i+1]
 		sr.Add(float64(q), resSR.IOPS)
 		sm.Add(float64(q), resSM.IOPS)
 		srLat.Add(float64(q), float64(resSR.Latency.Mean()))
@@ -362,7 +414,7 @@ func AdvisorDemo(c Config) (*Figure, error) {
 		p.DataSectors = volume
 		// Generate ~30% extra: burst truncation at short durations can
 		// leave the trace slightly under the nominal count.
-		tr := tracegen.Generate(*celloTrace(p, windows*1300))
+		tr := tracegen.GenerateCached(*celloTrace(p, windows*1300))
 		for i, r := range tr.Records {
 			if i >= windows*1000 {
 				break
@@ -424,6 +476,13 @@ func Sensitivity(c Config) (*Figure, error) {
 	const locality = 3
 	recommended := Series{Label: "model-recommended Dr"}
 	measured := Series{Label: "measured-best Dr"}
+	type job struct {
+		sp          disk.Spec
+		dataSectors int64
+		dr          int
+	}
+	var jobs []job
+	var counts []int // sweep jobs per variant
 	for vi, v := range variants {
 		sp := disk.ST39133LWV()
 		v.mod(&sp)
@@ -440,29 +499,47 @@ func Sensitivity(c Config) (*Figure, error) {
 		}
 		recommended.Add(float64(vi), float64(drRec))
 
-		bestDr, bestIOPS := 0, 0.0
+		n := 0
 		for _, dr := range []int{1, 2, 3, 4, 6} {
 			if 12%dr != 0 {
 				continue
 			}
-			cfg := layout.SRArray(12/dr, dr)
-			sim := des.New()
-			a, err := core.New(sim, core.Options{
-				Config: cfg, Policy: "rsatf", Spec: sp,
-				DataSectors: d.Geom.TotalSectors() / (128 * 72) * (128 * 72),
-				Seed:        c.Seed,
-			})
-			if err != nil {
-				return nil, err
+			jobs = append(jobs, job{sp, d.Geom.TotalSectors() / (128 * 72) * (128 * 72), dr})
+			n++
+		}
+		counts = append(counts, n)
+	}
+	iops, err := runner.Map(len(jobs), func(i int) (float64, error) {
+		j := jobs[i]
+		cfg := layout.SRArray(12/j.dr, j.dr)
+		sim := des.New()
+		a, err := core.New(sim, core.Options{
+			Config: cfg, Policy: "rsatf", Spec: j.sp,
+			DataSectors: j.dataSectors,
+			Seed:        c.Seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: 8, Locality: locality, Seed: c.Seed}
+		res, err := w.Run(sim, a, c.IometerIOs/2)
+		if err != nil {
+			return 0, err
+		}
+		return res.IOPS, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for vi := range variants {
+		bestDr, bestIOPS := 0, 0.0
+		for k := 0; k < counts[vi]; k++ {
+			j := jobs[idx]
+			if iops[idx] > bestIOPS {
+				bestDr, bestIOPS = j.dr, iops[idx]
 			}
-			w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: 8, Locality: locality, Seed: c.Seed}
-			res, err := w.Run(sim, a, c.IometerIOs/2)
-			if err != nil {
-				return nil, err
-			}
-			if res.IOPS > bestIOPS {
-				bestDr, bestIOPS = dr, res.IOPS
-			}
+			idx++
 		}
 		measured.Add(float64(vi), float64(bestDr))
 	}
@@ -497,21 +574,30 @@ func TCQ(c Config) (*Figure, error) {
 		{"6x1 host SATF", layout.Striping(6), "satf", 0},
 		{"6x1 TCQ drive SATF", layout.Striping(6), "fcfs", 8},
 	}
+	qs := []int{8, 16, 32}
+	var jobs []iometerJob
 	for _, r := range runs {
-		s := Series{Label: r.label}
-		for _, q := range []int{8, 16, 32} {
+		tcq := r.tcq
+		for _, q := range qs {
 			w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: q, Locality: 3, Seed: c.Seed}
-			res, err := runIometer(r.cfg, r.policy, w, c.IometerIOs, c.Seed, func(o *coreOptions) {
-				o.TCQDepth = r.tcq
-				// Prototype mode: the host predicts through noise while the
-				// firmware knows its own mechanics exactly — the regime the
-				// paper's question is about.
-				o.Prototype = true
-			})
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(q), res.IOPS)
+			jobs = append(jobs, iometerJob{cfg: r.cfg, policy: r.policy, w: w, total: c.IometerIOs,
+				mod: func(o *coreOptions) {
+					o.TCQDepth = tcq
+					// Prototype mode: the host predicts through noise while the
+					// firmware knows its own mechanics exactly — the regime the
+					// paper's question is about.
+					o.Prototype = true
+				}})
+		}
+	}
+	res, err := runIometerJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for ri, r := range runs {
+		s := Series{Label: r.label}
+		for qi, q := range qs {
+			s.Add(float64(q), res[ri*len(qs)+qi].IOPS)
 		}
 		f.Series = append(f.Series, s)
 	}
@@ -532,19 +618,19 @@ func AblationAging(c Config) (*Figure, error) {
 	mean := Series{Label: "mean"}
 	p99 := Series{Label: "p99"}
 	maxS := Series{Label: "max"}
-	for i, policy := range []string{"satf", "asatf"} {
-		sim, a, err := buildArray(layout.Striping(1), policy, microVolume(), c.Seed, nil)
-		if err != nil {
-			return nil, err
-		}
+	var jobs []iometerJob
+	for _, policy := range []string{"satf", "asatf"} {
 		w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: 24, Locality: 1, Seed: c.Seed}
-		res, err := w.Run(sim, a, c.IometerIOs)
-		if err != nil {
-			return nil, err
-		}
-		mean.Add(float64(i), float64(res.Latency.Mean()))
-		p99.Add(float64(i), float64(res.Latency.Percentile(99)))
-		maxS.Add(float64(i), float64(res.Latency.Max()))
+		jobs = append(jobs, iometerJob{cfg: layout.Striping(1), policy: policy, w: w, total: c.IometerIOs})
+	}
+	res, err := runIometerJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		mean.Add(float64(i), float64(r.Latency.Mean()))
+		p99.Add(float64(i), float64(r.Latency.Percentile(99)))
+		maxS.Add(float64(i), float64(r.Latency.Max()))
 	}
 	f.Series = []Series{mean, p99, maxS}
 	return f, nil
@@ -556,7 +642,7 @@ func AblationAging(c Config) (*Figure, error) {
 // SR-Array pays a little more seek (half the cylinders instead of a
 // sixth) to remove most of the rotational delay.
 func Breakdown(c Config) (*Figure, error) {
-	tr := tracegen.Generate(*celloTrace(tracegen.CelloBase(c.Seed), c.TraceIOs))
+	tr := genTrace(tracegen.CelloBase(c.Seed), c.TraceIOs)
 	f := &Figure{
 		Name:   "Breakdown: where the time goes",
 		Title:  "per-request mean components (us), Cello base on six disks; X = config index",
@@ -574,20 +660,28 @@ func Breakdown(c Config) (*Figure, error) {
 	seek := Series{Label: "seek"}
 	rotate := Series{Label: "rotation"}
 	transfer := Series{Label: "transfer"}
-	for i, cfg := range configs {
+	type bdRes struct{ q, o, s, r, x des.Time }
+	res, err := runner.Map(len(configs), func(i int) (bdRes, error) {
+		cfg := configs[i]
 		sim, a, err := buildArray(cfg, policyFor(cfg), tr.DataSectors, c.Seed, nil)
 		if err != nil {
-			return nil, err
+			return bdRes{}, err
 		}
 		if _, err := workload.Replay(sim, a, tr); err != nil {
-			return nil, err
+			return bdRes{}, err
 		}
 		q, o, s, r, x := a.BreakdownReport().Means()
-		queue.Add(float64(i), float64(q))
-		overhead.Add(float64(i), float64(o))
-		seek.Add(float64(i), float64(s))
-		rotate.Add(float64(i), float64(r))
-		transfer.Add(float64(i), float64(x))
+		return bdRes{q, o, s, r, x}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		queue.Add(float64(i), float64(r.q))
+		overhead.Add(float64(i), float64(r.o))
+		seek.Add(float64(i), float64(r.s))
+		rotate.Add(float64(i), float64(r.r))
+		transfer.Add(float64(i), float64(r.x))
 	}
 	f.Series = []Series{queue, overhead, seek, rotate, transfer}
 	return f, nil

@@ -16,6 +16,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/layout"
 	"repro/internal/model"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 	"repro/internal/workload"
@@ -214,6 +215,71 @@ func celloTrace(p tracegen.Params, ios int) *tracegen.Params {
 	d := des.Time(float64(ios) / p.MeanIOPS * 1e6)
 	p = p.WithDuration(d)
 	return &p
+}
+
+// genTrace returns the synthetic trace for p at about ios I/Os, through the
+// process-wide cache: figures that replay the same workload (Figure 6, 7,
+// 9, 10, 11, Breakdown, the tables) share one synthesis instead of each
+// re-running the generator's fixed-point retune.
+func genTrace(p tracegen.Params, ios int) *trace.Trace {
+	return tracegen.GenerateCached(*celloTrace(p, ios))
+}
+
+// replayJob is one trace-replay simulation in a figure's sweep. Each job
+// builds its own simulator and array, so jobs are independent and the
+// sweeps fan them out over the runner's worker pool.
+type replayJob struct {
+	cfg    layout.Config
+	policy string // empty means policyFor(cfg)
+	tr     *trace.Trace
+	// cacheBytes > 0 replays through a block cache of that size
+	// (Figure 11's memory series).
+	cacheBytes int64
+	mod        func(*coreOptions)
+}
+
+// replayRes is a replay job's outcome; ok is false when the configuration
+// saturated.
+type replayRes struct {
+	mean des.Time
+	ok   bool
+}
+
+// runReplayJobs executes the jobs on the worker pool and returns results in
+// submission order, so assembling series from the result slice yields
+// exactly the sequential path's output.
+func runReplayJobs(seed int64, jobs []replayJob) ([]replayRes, error) {
+	return runner.Map(len(jobs), func(i int) (replayRes, error) {
+		j := jobs[i]
+		if j.cacheBytes > 0 {
+			m, ok, err := replayCached(j.cfg, j.tr, seed, j.cacheBytes)
+			return replayRes{m, ok}, err
+		}
+		policy := j.policy
+		if policy == "" {
+			policy = policyFor(j.cfg)
+		}
+		m, ok, err := replayMean(j.cfg, policy, j.tr, seed, j.mod)
+		return replayRes{m, ok}, err
+	})
+}
+
+// iometerJob is one closed-loop simulation in a micro-benchmark's sweep.
+type iometerJob struct {
+	cfg    layout.Config
+	policy string
+	w      workload.Iometer
+	total  int
+	mod    func(*coreOptions)
+}
+
+// runIometerJobs executes the jobs on the worker pool, results in
+// submission order.
+func runIometerJobs(seed int64, jobs []iometerJob) ([]*workload.Result, error) {
+	return runner.Map(len(jobs), func(i int) (*workload.Result, error) {
+		j := jobs[i]
+		return runIometer(j.cfg, j.policy, j.w, j.total, seed, j.mod)
+	})
 }
 
 // replayMean replays a trace on a configuration and returns the reported

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/tracegen"
+)
+
+// TestParallelMatchesSequential is the runner's contract check: the same
+// experiment run with one worker and with many must render byte-identical
+// output. Figure 6 covers the trace-replay path (including the shared
+// cached trace) and Figure 12 the closed-loop iometer path. Run under
+// -race this also shakes out any accidental sharing between jobs.
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := Config{TraceIOs: 600, IometerIOs: 300, Seed: 1}
+	cases := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"figure6", func() (string, error) {
+			f, err := Figure6(cfg, "cello-base")
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"figure12", func() (string, error) {
+			f, err := Figure12(cfg)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			prev := runner.SetParallelism(1)
+			defer runner.SetParallelism(prev)
+			tracegen.ResetCache()
+			seq, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner.SetParallelism(8)
+			tracegen.ResetCache()
+			par, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq != par {
+				t.Fatalf("parallel output differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+			}
+			// A cache hit must not change results either.
+			again, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != par {
+				t.Fatal("second (trace-cached) run differs from the first")
+			}
+		})
+	}
+}

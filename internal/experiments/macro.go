@@ -41,7 +41,7 @@ func Figure6(c Config, workloadName string) (*Figure, error) {
 	default:
 		return nil, fmt.Errorf("figure6: unknown workload %q", workloadName)
 	}
-	tr := tracegen.Generate(*celloTrace(p, c.TraceIOs))
+	tr := genTrace(p, c.TraceIOs)
 	st := tr.ComputeStats()
 	f := &Figure{
 		Name:   "Figure 6 (" + workloadName + ")",
@@ -57,36 +57,39 @@ func Figure6(c Config, workloadName string) (*Figure, error) {
 	sr := Series{Label: "SR-Array (RSATF)"}
 	mdl := Series{Label: "model (Eq. 5/6)"}
 	dsk := paperDisk()
+	type slot struct {
+		series *Series
+		x      float64
+	}
+	var jobs []replayJob
+	var slots []slot
+	add := func(s *Series, D int, cfg layout.Config) {
+		jobs = append(jobs, replayJob{cfg: cfg, tr: tr})
+		slots = append(slots, slot{s, float64(D)})
+	}
 	for _, D := range ds {
-		if m, ok, err := replayMeanChecked(layout.Striping(D), tr, c.Seed); err != nil {
-			return nil, err
-		} else if ok {
-			stripe.Add(float64(D), float64(m))
-		}
+		add(&stripe, D, layout.Striping(D))
 		if D%2 == 0 {
-			if m, ok, err := replayMeanChecked(layout.RAID10(D), tr, c.Seed); err != nil {
-				return nil, err
-			} else if ok {
-				raid10.Add(float64(D), float64(m))
-			}
+			add(&raid10, D, layout.RAID10(D))
 		}
 		if D > 1 {
-			if m, ok, err := replayMeanChecked(layout.Mirror(D), tr, c.Seed); err != nil {
-				return nil, err
-			} else if ok {
-				mirror.Add(float64(D), float64(m))
-			}
+			add(&mirror, D, layout.Mirror(D))
 		}
 		cfg := srChoice(D, st.SeekLocality)
-		if m, ok, err := replayMeanChecked(cfg, tr, c.Seed); err != nil {
-			return nil, err
-		} else if ok {
-			sr.Add(float64(D), float64(m))
-		}
+		add(&sr, D, cfg)
 		// The model curve evaluates Eq. (9) at the integer configuration
 		// with p=1 and the workload's locality, plus the reporting pad.
 		lat := model.Latency(dsk, cfg.Ds, cfg.Dr, 1, st.SeekLocality)
 		mdl.Add(float64(D), float64(lat+ReportPad))
+	}
+	res, err := runReplayJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		if r.ok {
+			slots[i].series.Add(slots[i].x, float64(r.mean))
+		}
 	}
 	f.Series = []Series{stripe, raid10, mirror, sr, mdl}
 	return f, nil
@@ -108,7 +111,7 @@ func Figure7(c Config, workloadName string) (*Figure, error) {
 	default:
 		return nil, fmt.Errorf("figure7: unknown workload %q", workloadName)
 	}
-	tr := tracegen.Generate(*celloTrace(p, c.TraceIOs))
+	tr := genTrace(p, c.TraceIOs)
 	st := tr.ComputeStats()
 	f := &Figure{
 		Name:   "Figure 7 (" + workloadName + ")",
@@ -117,6 +120,13 @@ func Figure7(c Config, workloadName string) (*Figure, error) {
 		YLabel: "mean response (us)",
 	}
 	recommended := Series{Label: "model-chosen"}
+	type meta struct {
+		label  string
+		x      float64
+		chosen bool
+	}
+	var jobs []replayJob
+	var metas []meta
 	for _, D := range []int{2, 4, 6, 12} {
 		chosen := srChoice(D, st.SeekLocality)
 		for dr := 1; dr <= D && dr <= model.MaxDr; dr++ {
@@ -124,19 +134,27 @@ func Figure7(c Config, workloadName string) (*Figure, error) {
 				continue
 			}
 			cfg := layout.SRArray(D/dr, dr)
-			m, ok, err := replayMeanChecked(cfg, tr, c.Seed)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-			s := Series{Label: fmt.Sprintf("%dx%d", cfg.Ds, cfg.Dr)}
-			s.Add(float64(D), float64(m))
-			f.Series = append(f.Series, s)
-			if cfg.Ds == chosen.Ds && cfg.Dr == chosen.Dr {
-				recommended.Add(float64(D), float64(m))
-			}
+			jobs = append(jobs, replayJob{cfg: cfg, tr: tr})
+			metas = append(metas, meta{
+				label:  fmt.Sprintf("%dx%d", cfg.Ds, cfg.Dr),
+				x:      float64(D),
+				chosen: cfg.Ds == chosen.Ds && cfg.Dr == chosen.Dr,
+			})
+		}
+	}
+	res, err := runReplayJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		if !r.ok {
+			continue
+		}
+		s := Series{Label: metas[i].label}
+		s.Add(metas[i].x, float64(r.mean))
+		f.Series = append(f.Series, s)
+		if metas[i].chosen {
+			recommended.Add(metas[i].x, float64(r.mean))
 		}
 	}
 	f.Series = append(f.Series, recommended)
@@ -149,7 +167,7 @@ func Figure7(c Config, workloadName string) (*Figure, error) {
 // series with a single point).
 func Figure8(c Config) (*Figure, error) {
 	p := tracegen.TPCC(c.Seed)
-	tr := tracegen.Generate(*celloTrace(p, c.TraceIOs))
+	tr := genTrace(p, c.TraceIOs)
 	st := tr.ComputeStats()
 	f := &Figure{
 		Name:   "Figure 8 (tpcc)",
@@ -160,41 +178,47 @@ func Figure8(c Config) (*Figure, error) {
 	stripe := Series{Label: "striping (SATF)"}
 	raid10 := Series{Label: "RAID-10 (SATF)"}
 	sr := Series{Label: "SR-Array (RSATF)"}
-	for _, D := range []int{12, 18, 24, 36} {
-		if m, ok, err := replayMeanChecked(layout.Striping(D), tr, c.Seed); err != nil {
-			return nil, err
-		} else if ok {
-			stripe.Add(float64(D), float64(m))
-		}
-		if m, ok, err := replayMeanChecked(layout.RAID10(D), tr, c.Seed); err != nil {
-			return nil, err
-		} else if ok {
-			raid10.Add(float64(D), float64(m))
-		}
-		cfg := srChoice(D, st.SeekLocality)
-		if m, ok, err := replayMeanChecked(cfg, tr, c.Seed); err != nil {
-			return nil, err
-		} else if ok {
-			sr.Add(float64(D), float64(m))
-		}
+	type slot struct {
+		series *Series // nil: a fresh single-point alternative series
+		label  string
+		x      float64
 	}
-	f.Series = []Series{stripe, raid10, sr}
+	var jobs []replayJob
+	var slots []slot
+	for _, D := range []int{12, 18, 24, 36} {
+		jobs = append(jobs, replayJob{cfg: layout.Striping(D), tr: tr})
+		slots = append(slots, slot{series: &stripe, x: float64(D)})
+		jobs = append(jobs, replayJob{cfg: layout.RAID10(D), tr: tr})
+		slots = append(slots, slot{series: &raid10, x: float64(D)})
+		jobs = append(jobs, replayJob{cfg: srChoice(D, st.SeekLocality), tr: tr})
+		slots = append(slots, slot{series: &sr, x: float64(D)})
+	}
 	// 8(b): alternatives at D=36.
 	for _, alt := range []layout.Config{
 		layout.SRArray(36, 1), layout.SRArray(18, 2), layout.SRArray(12, 3),
 		layout.SRArray(9, 4), layout.SRArray(6, 6),
 	} {
-		m, ok, err := replayMeanChecked(alt, tr, c.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
+		jobs = append(jobs, replayJob{cfg: alt, tr: tr})
+		slots = append(slots, slot{label: fmt.Sprintf("36d %dx%d", alt.Ds, alt.Dr), x: 36})
+	}
+	res, err := runReplayJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var alts []Series
+	for i, r := range res {
+		if !r.ok {
 			continue
 		}
-		s := Series{Label: fmt.Sprintf("36d %dx%d", alt.Ds, alt.Dr)}
-		s.Add(36, float64(m))
-		f.Series = append(f.Series, s)
+		if slots[i].series != nil {
+			slots[i].series.Add(slots[i].x, float64(r.mean))
+			continue
+		}
+		s := Series{Label: slots[i].label}
+		s.Add(slots[i].x, float64(r.mean))
+		alts = append(alts, s)
 	}
+	f.Series = append([]Series{stripe, raid10, sr}, alts...)
 	return f, nil
 }
 
@@ -216,7 +240,7 @@ func Figure9(c Config, workloadName string) (*Figure, error) {
 	default:
 		return nil, fmt.Errorf("figure9: unknown workload %q", workloadName)
 	}
-	base := tracegen.Generate(*celloTrace(p, c.TraceIOs))
+	base := genTrace(p, c.TraceIOs)
 	f := &Figure{
 		Name:   "Figure 9 (" + workloadName + ")",
 		Title:  "local scheduler comparison vs trace scale rate",
@@ -233,17 +257,29 @@ func Figure9(c Config, workloadName string) (*Figure, error) {
 		{"SR-Array RLOOK", srCfg, "rlook"},
 		{"SR-Array RSATF", srCfg, "rsatf"},
 	}
+	// One scaled copy per rate, shared across runs (replay only reads it).
+	scaled := make([]*trace.Trace, len(rates))
+	for i, rate := range rates {
+		scaled[i] = base.Scale(rate)
+	}
+	var jobs []replayJob
 	for _, r := range runs {
+		for _, tr := range scaled {
+			jobs = append(jobs, replayJob{cfg: r.cfg, policy: r.policy, tr: tr})
+		}
+	}
+	res, err := runReplayJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for ri, r := range runs {
 		s := Series{Label: r.label}
-		for _, rate := range rates {
-			m, ok, err := replayMean(r.cfg, r.policy, base.Scale(rate), c.Seed, nil)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
+		for xi, rate := range rates {
+			p := res[ri*len(rates)+xi]
+			if !p.ok {
 				break // saturated; higher rates only get worse
 			}
-			s.Add(rate, float64(m))
+			s.Add(rate, float64(p.mean))
 		}
 		f.Series = append(f.Series, s)
 	}
@@ -282,24 +318,35 @@ func Figure10(c Config, workloadName string) (*Figure, error) {
 	default:
 		return nil, fmt.Errorf("figure10: unknown workload %q", workloadName)
 	}
-	base := tracegen.Generate(*celloTrace(p, c.TraceIOs))
+	base := genTrace(p, c.TraceIOs)
 	f := &Figure{
 		Name:   "Figure 10 (" + workloadName + ")",
 		Title:  "response time vs trace scale rate at a fixed disk budget",
 		XLabel: "scale rate",
 		YLabel: "mean response (us)",
 	}
+	scaled := make([]*trace.Trace, len(rates))
+	for i, rate := range rates {
+		scaled[i] = base.Scale(rate)
+	}
+	var jobs []replayJob
 	for _, cfg := range configs {
+		for _, tr := range scaled {
+			jobs = append(jobs, replayJob{cfg: cfg, tr: tr})
+		}
+	}
+	res, err := runReplayJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, cfg := range configs {
 		s := Series{Label: cfg.String() + " " + policyFor(cfg)}
-		for _, rate := range rates {
-			m, ok, err := replayMeanChecked(cfg, base.Scale(rate), c.Seed)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
+		for xi, rate := range rates {
+			p := res[ci*len(rates)+xi]
+			if !p.ok {
 				break
 			}
-			s.Add(rate, float64(m))
+			s.Add(rate, float64(p.mean))
 		}
 		f.Series = append(f.Series, s)
 	}
@@ -327,7 +374,7 @@ func Figure11(c Config, workloadName string) (*Figure, error) {
 	default:
 		return nil, fmt.Errorf("figure11: unknown workload %q", workloadName)
 	}
-	base := tracegen.Generate(*celloTrace(p, c.TraceIOs))
+	base := genTrace(p, c.TraceIOs)
 	st := base.ComputeStats()
 	// Cache sizes straddle the trace's measured working set so the hit
 	// rate is capacity-sensitive at any run scale (the paper swept percent
@@ -341,32 +388,38 @@ func Figure11(c Config, workloadName string) (*Figure, error) {
 		XLabel: "disks | cache %",
 		YLabel: "mean response (us)",
 	}
+	type slot struct {
+		si int // index into seriesList
+		x  float64
+	}
+	var seriesList []Series
+	var jobs []replayJob
+	var slots []slot
 	for _, rate := range []float64{1, 3} {
 		tr := base.Scale(rate)
-		disks := Series{Label: fmt.Sprintf("SR-Array x%g", rate)}
+		di := len(seriesList)
+		seriesList = append(seriesList, Series{Label: fmt.Sprintf("SR-Array x%g", rate)})
 		for _, D := range diskCounts {
-			cfg := srChoice(D, st.SeekLocality)
-			m, ok, err := replayMeanChecked(cfg, tr, c.Seed)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				disks.Add(float64(D), float64(m))
-			}
+			jobs = append(jobs, replayJob{cfg: srChoice(D, st.SeekLocality), tr: tr})
+			slots = append(slots, slot{di, float64(D)})
 		}
-		mem := Series{Label: fmt.Sprintf("Memory x%g", rate)}
+		mi := len(seriesList)
+		seriesList = append(seriesList, Series{Label: fmt.Sprintf("Memory x%g", rate)})
 		for _, bytes := range cacheSizes {
-			cfg := srChoice(baseDisks, st.SeekLocality)
-			m, ok, err := replayCached(cfg, tr, c.Seed, bytes)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				mem.Add(float64(bytes)/float64(tr.DataSectors*512)*100, float64(m))
-			}
+			jobs = append(jobs, replayJob{cfg: srChoice(baseDisks, st.SeekLocality), tr: tr, cacheBytes: bytes})
+			slots = append(slots, slot{mi, float64(bytes) / float64(tr.DataSectors*512) * 100})
 		}
-		f.Series = append(f.Series, disks, mem)
 	}
+	res, err := runReplayJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		if r.ok {
+			seriesList[slots[i].si].Add(slots[i].x, float64(r.mean))
+		}
+	}
+	f.Series = seriesList
 	return f, nil
 }
 

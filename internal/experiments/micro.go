@@ -40,6 +40,13 @@ func Figure5(c Config) (*Figure, error) {
 		YLabel: "IOPS",
 	}
 	cfg := layout.SRArray(2, 3)
+	type slot struct {
+		si int
+		x  float64
+	}
+	var seriesList []Series
+	var jobs []iometerJob
+	var slots []slot
 	for _, mix := range []struct {
 		label    string
 		readFrac float64
@@ -47,28 +54,37 @@ func Figure5(c Config) (*Figure, error) {
 		{"reads", 1},
 		{"50/50 r/w", 0.5},
 	} {
-		simS := Series{Label: mix.label + " simulator"}
-		protoS := Series{Label: mix.label + " prototype"}
+		si := len(seriesList)
+		seriesList = append(seriesList,
+			Series{Label: mix.label + " simulator"},
+			Series{Label: mix.label + " prototype"})
 		for _, q := range []int{2, 4, 8, 16, 32, 64} {
 			w := workload.Iometer{ReadFrac: mix.readFrac, Sectors: 1, Outstanding: q, Locality: 1, Seed: c.Seed}
 			for _, proto := range []bool{false, true} {
 				proto := proto
-				res, err := runIometer(cfg, "rsatf", w, c.IometerIOs, c.Seed, func(o *coreOptions) {
-					o.Prototype = proto
-					o.ForegroundWrites = true
+				jobs = append(jobs, iometerJob{
+					cfg: cfg, policy: "rsatf", w: w, total: c.IometerIOs,
+					mod: func(o *coreOptions) {
+						o.Prototype = proto
+						o.ForegroundWrites = true
+					},
 				})
-				if err != nil {
-					return nil, err
-				}
+				idx := si
 				if proto {
-					protoS.Add(float64(q), res.IOPS)
-				} else {
-					simS.Add(float64(q), res.IOPS)
+					idx = si + 1
 				}
+				slots = append(slots, slot{idx, float64(q)})
 			}
 		}
-		f.Series = append(f.Series, simS, protoS)
 	}
+	res, err := runIometerJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		seriesList[slots[i].si].Add(slots[i].x, r.IOPS)
+	}
+	f.Series = seriesList
 	return f, nil
 }
 
@@ -85,12 +101,22 @@ func Figure12(c Config) (*Figure, error) {
 		YLabel: "IOPS",
 	}
 	dsk := paperDisk()
+	type slot struct {
+		series *Series
+		x      float64
+	}
+	var jobs []iometerJob
+	var slots []slot
+	var all []*[5]Series // per q: stripe, raid, srR, srL, mdl
 	for _, q := range []int{8, 32} {
-		stripe := Series{Label: fmt.Sprintf("q%d striping SATF", q)}
-		raid := Series{Label: fmt.Sprintf("q%d RAID-10 SATF", q)}
-		srR := Series{Label: fmt.Sprintf("q%d SR-Array RSATF", q)}
-		srL := Series{Label: fmt.Sprintf("q%d SR-Array RLOOK", q)}
-		mdl := Series{Label: fmt.Sprintf("q%d RLOOK model", q)}
+		group := &[5]Series{
+			{Label: fmt.Sprintf("q%d striping SATF", q)},
+			{Label: fmt.Sprintf("q%d RAID-10 SATF", q)},
+			{Label: fmt.Sprintf("q%d SR-Array RSATF", q)},
+			{Label: fmt.Sprintf("q%d SR-Array RLOOK", q)},
+			{Label: fmt.Sprintf("q%d RLOOK model", q)},
+		}
+		all = append(all, group)
 		for _, D := range []int{2, 4, 6, 8, 12} {
 			w := workload.Iometer{ReadFrac: 1, Sectors: 1, Outstanding: q, Locality: locality, Seed: c.Seed}
 			perDisk := float64(q) / float64(D)
@@ -105,19 +131,16 @@ func Figure12(c Config) (*Figure, error) {
 				policy string
 			}
 			runs := []run{
-				{&stripe, layout.Striping(D), "satf"},
-				{&srR, srCfg, "rsatf"},
-				{&srL, srCfg, "rlook"},
+				{&group[0], layout.Striping(D), "satf"},
+				{&group[2], srCfg, "rsatf"},
+				{&group[3], srCfg, "rlook"},
 			}
 			if D%2 == 0 {
-				runs = append(runs, run{&raid, layout.RAID10(D), "satf"})
+				runs = append(runs, run{&group[1], layout.RAID10(D), "satf"})
 			}
 			for _, r := range runs {
-				res, err := runIometer(r.cfg, r.policy, w, c.IometerIOs, c.Seed, nil)
-				if err != nil {
-					return nil, err
-				}
-				r.s.Add(float64(D), res.IOPS)
+				jobs = append(jobs, iometerJob{cfg: r.cfg, policy: r.policy, w: w, total: c.IometerIOs})
+				slots = append(slots, slot{r.s, float64(D)})
 			}
 			// Eq. (13)-(16) with the seek term on the measured curve
 			// (the linear-seek form badly overestimates stroke
@@ -126,9 +149,18 @@ func Figure12(c Config) (*Figure, error) {
 			mech := model.MechParams{Seek: refDisk.Seek, R: refDisk.NominalR, UsedCyl: refDisk.Geom.LogicalCylinders() / ds}
 			tBest := mech.QueuedLatencyMech(dr, 1, perDisk, locality)
 			n1 := model.ThroughputSingle(deviceOverhead, tBest)
-			mdl.Add(float64(D), model.ThroughputArray(D, q, n1)*1e6)
+			group[4].Add(float64(D), model.ThroughputArray(D, q, n1)*1e6)
 		}
-		f.Series = append(f.Series, stripe, raid, srR, srL, mdl)
+	}
+	res, err := runIometerJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		slots[i].series.Add(slots[i].x, r.IOPS)
+	}
+	for _, group := range all {
+		f.Series = append(f.Series, group[:]...)
 	}
 	return f, nil
 }
@@ -159,6 +191,14 @@ func Figure13(c Config) (*Figure, error) {
 		XLabel: "write ratio (%)",
 		YLabel: "IOPS",
 	}
+	type slot struct {
+		series *Series
+		x      float64
+	}
+	var jobs []iometerJob
+	var slots []slot
+	var groups [][]Series
+	fgWrites := func(o *coreOptions) { o.ForegroundWrites = true }
 	for _, q := range []int{8, 32} {
 		runs := []struct {
 			label  string
@@ -171,22 +211,19 @@ func Figure13(c Config) (*Figure, error) {
 			{fmt.Sprintf("q%d 6x1x1 LOOK", q), layout.Striping(6), "look"},
 			{fmt.Sprintf("q%d 3x1x2 SATF", q), layout.RAID10(6), "satf"},
 		}
-		series := make([]Series, len(runs))
+		series := make([]Series, len(runs)+1)
 		for i, r := range runs {
 			series[i] = Series{Label: r.label}
 		}
-		mdl := Series{Label: fmt.Sprintf("q%d 3x2x1 RLOOK model", q)}
+		mdl := &series[len(runs)]
+		*mdl = Series{Label: fmt.Sprintf("q%d 3x2x1 RLOOK model", q)}
+		groups = append(groups, series)
 		for _, writePct := range []int{0, 10, 20, 30, 40, 50, 70, 100} {
 			readFrac := 1 - float64(writePct)/100
 			w := workload.Iometer{ReadFrac: readFrac, Sectors: 1, Outstanding: q, Locality: locality, Seed: c.Seed}
 			for i, r := range runs {
-				res, err := runIometer(r.cfg, r.policy, w, c.IometerIOs, c.Seed, func(o *coreOptions) {
-					o.ForegroundWrites = true
-				})
-				if err != nil {
-					return nil, err
-				}
-				series[i].Add(float64(writePct), res.IOPS)
+				jobs = append(jobs, iometerJob{cfg: r.cfg, policy: r.policy, w: w, total: c.IometerIOs, mod: fgWrites})
+				slots = append(slots, slot{&series[i], float64(writePct)})
 			}
 			// Eq. (12) at the fixed 3x2 configuration with p = read
 			// fraction (all writes propagate in the foreground), seek term
@@ -197,8 +234,16 @@ func Figure13(c Config) (*Figure, error) {
 			n1 := model.ThroughputSingle(deviceOverhead, tBest)
 			mdl.Add(float64(writePct), model.ThroughputArray(6, q, n1)*1e6)
 		}
-		f.Series = append(f.Series, series...)
-		f.Series = append(f.Series, mdl)
+	}
+	res, err := runIometerJobs(c.Seed, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		slots[i].series.Add(slots[i].x, r.IOPS)
+	}
+	for _, g := range groups {
+		f.Series = append(f.Series, g...)
 	}
 	return f, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/disk"
 	"repro/internal/layout"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 	"repro/internal/workload"
@@ -55,8 +56,7 @@ type Table2Result struct {
 
 // Table2 runs the experiment.
 func Table2(c Config) (*Table2Result, error) {
-	p := celloTrace(tracegen.CelloBase(c.Seed), c.TraceIOs)
-	tr := tracegen.Generate(*p)
+	tr := genTrace(tracegen.CelloBase(c.Seed), c.TraceIOs)
 	cfg := layout.SRArray(2, 3)
 	sim, a, err := buildArray(cfg, "rsatf", tr.DataSectors, c.Seed, func(o *coreOptions) {
 		o.Prototype = true
@@ -107,19 +107,21 @@ type Table3Result struct {
 	Rows []Table3Row
 }
 
-// Table3 generates each workload (shortened per Config) and measures it.
+// Table3 generates each workload (shortened per Config) and measures it,
+// one worker per workload.
 func Table3(c Config) *Table3Result {
-	out := &Table3Result{}
-	for _, p := range []tracegen.Params{
+	params := []tracegen.Params{
 		tracegen.CelloBase(c.Seed),
 		tracegen.CelloDisk6(c.Seed + 1),
 		tracegen.TPCC(c.Seed + 2),
-	} {
-		pp := celloTrace(p, c.TraceIOs*3) // statistics want more samples than replay
-		tr := tracegen.Generate(*pp)
-		out.Rows = append(out.Rows, Table3Row{Name: p.Name, Measured: tr.ComputeStats(), Target: p})
 	}
-	return out
+	rows := runner.MapNoErr(len(params), func(i int) Table3Row {
+		p := params[i]
+		// Statistics want more samples than replay.
+		tr := genTrace(p, c.TraceIOs*3)
+		return Table3Row{Name: p.Name, Measured: tr.ComputeStats(), Target: p}
+	})
+	return &Table3Result{Rows: rows}
 }
 
 func (t *Table3Result) String() string {

@@ -1,0 +1,96 @@
+// Package runner fans independent simulation jobs out over a worker pool.
+//
+// Every experiment in internal/experiments is a sweep of self-contained
+// discrete-event simulations: each job builds its own *des.Sim, array,
+// workload generator and seeded RNG, so jobs share no mutable state and can
+// run on separate goroutines. The runner executes jobs on up to
+// Parallelism() workers and returns results indexed by submission order, so
+// a sweep assembled from the result slice is bit-identical to running the
+// same jobs sequentially — parallelism changes wall time, never output.
+//
+// With Parallelism() == 1 (or a single job) Map runs everything inline on
+// the calling goroutine: the sequential path is literally the same code.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var parallelism atomic.Int64
+
+func init() {
+	parallelism.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetParallelism sets the process-wide worker count used by Map. Values
+// below 1 are clamped to 1. It returns the previous setting so tests can
+// restore it.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(parallelism.Swap(int64(n)))
+}
+
+// Parallelism reports the current worker count (default GOMAXPROCS at
+// startup).
+func Parallelism() int {
+	return int(parallelism.Load())
+}
+
+// Map runs fn(i) for i in [0, n) on up to Parallelism() goroutines and
+// returns the results in index order. If any call returns an error, Map
+// returns the error with the lowest index; all jobs still run to completion
+// (simulation jobs are cheap to finish and cancellation would make the
+// completed-work set timing-dependent).
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	errs := make([]error, n)
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+		return out, firstError(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, firstError(errs)
+}
+
+// MapNoErr is Map for job functions that cannot fail.
+func MapNoErr[T any](n int, fn func(i int) T) []T {
+	out, _ := Map(n, func(i int) (T, error) { return fn(i), nil })
+	return out
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsBySubmission(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		prev := SetParallelism(workers)
+		got, err := Map(100, func(i int) (int, error) { return i * i, nil })
+		SetParallelism(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+	errLow := errors.New("low")
+	_, err := Map(50, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, errLow
+		case 31:
+			return 0, errors.New("high")
+		}
+		return i, nil
+	})
+	if err != errLow {
+		t.Fatalf("err = %v, want the lowest-index error", err)
+	}
+}
+
+func TestMapRunsEveryJobExactlyOnce(t *testing.T) {
+	prev := SetParallelism(8)
+	defer SetParallelism(prev)
+	var counts [1000]atomic.Int32
+	_, err := Map(len(counts), func(i int) (struct{}, error) {
+		counts[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	got, err := Map(0, func(i int) (int, error) { return 0, fmt.Errorf("never") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestSetParallelismClamps(t *testing.T) {
+	prev := SetParallelism(-3)
+	defer SetParallelism(prev)
+	if Parallelism() != 1 {
+		t.Fatalf("Parallelism() = %d, want 1", Parallelism())
+	}
+}
+
+func TestMapNoErr(t *testing.T) {
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+	got := MapNoErr(10, func(i int) string { return fmt.Sprint(i) })
+	for i, v := range got {
+		if v != fmt.Sprint(i) {
+			t.Fatalf("out[%d] = %q", i, v)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/calib"
+	"repro/internal/des"
+	"repro/internal/disk"
+)
+
+// benchQueue builds a queue of depth requests, each with three
+// same-cylinder rotational replicas (the 2x3 SR-Array shape) and a
+// freshness mask so allowed() is exercised the way array reads exercise it.
+func benchQueue(d *disk.Disk, depth int) []*Request {
+	rng := rand.New(rand.NewSource(7))
+	g := d.Geom
+	queue := make([]*Request, depth)
+	for i := range queue {
+		cyl := rng.Intn(g.LogicalCylinders() / 2)
+		var reps []Replica
+		for j := 0; j < 3; j++ {
+			p := disk.Chs{Cyl: cyl, Head: j * (g.Heads / 3), Sector: g.SPTOf(cyl) * j / 3}
+			reps = append(reps, Replica{Extents: []disk.Extent{{Start: p, Count: 8}}})
+		}
+		queue[i] = &Request{
+			ID:              uint64(i),
+			Arrive:          des.Time(i),
+			Replicas:        reps,
+			AllowedReplicas: []bool{true, true, true},
+		}
+	}
+	return queue
+}
+
+// BenchmarkSchedPickSATF measures a single scheduling decision over queues
+// of the depths the macro experiments actually reach (saturation sweeps run
+// queues into the hundreds).
+func BenchmarkSchedPickSATF(b *testing.B) {
+	d := disk.ST39133LWV().MustNew()
+	e := &calib.Exact{Dsk: d, Overhead: 200}
+	for _, policy := range []string{"satf", "rsatf"} {
+		for _, depth := range []int{8, 32, 128} {
+			b.Run(fmt.Sprintf("%s/q%d", policy, depth), func(b *testing.B) {
+				queue := benchQueue(d, depth)
+				s, err := New(policy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				arm := disk.State{Cyl: d.Geom.LogicalCylinders() / 4}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok := s.Pick(des.Time(depth), arm, queue, e); !ok {
+						b.Fatal("no pick")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSchedPickRLOOK covers the other replica-aware policy: the LOOK
+// scan plus same-cylinder replica selection.
+func BenchmarkSchedPickRLOOK(b *testing.B) {
+	d := disk.ST39133LWV().MustNew()
+	e := &calib.Exact{Dsk: d, Overhead: 200}
+	for _, depth := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("q%d", depth), func(b *testing.B) {
+			queue := benchQueue(d, depth)
+			s, err := New("rlook")
+			if err != nil {
+				b.Fatal(err)
+			}
+			arm := disk.State{Cyl: d.Geom.LogicalCylinders() / 4}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := s.Pick(des.Time(depth), arm, queue, e); !ok {
+					b.Fatal("no pick")
+				}
+			}
+		})
+	}
+}

@@ -99,15 +99,15 @@ func New(policy string) (Scheduler, error) {
 	case "clook":
 		return &look{circular: true}, nil
 	case "satf":
-		return satf{}, nil
+		return &satf{}, nil
 	case "asatf":
-		return satf{aging: DefaultAgingWeight}, nil
+		return &satf{aging: DefaultAgingWeight}, nil
 	case "rlook":
 		return &look{rotational: true}, nil
 	case "rsatf":
-		return satf{rotational: true}, nil
+		return &satf{rotational: true}, nil
 	case "rasatf":
-		return satf{rotational: true, aging: DefaultAgingWeight}, nil
+		return &satf{rotational: true, aging: DefaultAgingWeight}, nil
 	default:
 		return nil, fmt.Errorf("sched: unknown policy %q", policy)
 	}
@@ -143,19 +143,23 @@ func schedulable(req *Request) bool {
 	return false
 }
 
-// bestReplica returns the allowed replica of queue[i] with the lowest
-// predicted access time. When rotational is false only the primary (or
-// first allowed) replica is considered — conventional schedulers do not
-// know about rotational copies. The request must be schedulable.
-func bestReplica(now des.Time, arm disk.State, req *Request, est calib.AccessEstimator, rotational bool) (int, des.Time) {
+// bestAllowedReplica is the fused core of the scan loops: one pass over
+// the request's replicas, evaluating allowed() exactly once per replica and
+// estimating only the allowed ones. ok is false when no replica may be
+// used (the request is not schedulable). Scanning policies use this
+// instead of a schedulable() pre-pass followed by bestReplica, which
+// walked every replica list twice — and evaluated live AllowedFn
+// predicates twice per replica — on every Pick.
+func bestAllowedReplica(now des.Time, arm disk.State, req *Request, est calib.AccessEstimator, rotational bool) (int, des.Time, bool) {
 	bestIdx, bestT := -1, des.Time(math.Inf(1))
-	for i, rep := range req.Replicas {
+	for i := range req.Replicas {
 		if !req.allowed(i) {
 			continue
 		}
+		rep := &req.Replicas[i]
 		var t des.Time
 		if len(rep.Extents) == 1 {
-			e := rep.first()
+			e := rep.Extents[0]
 			t = est.Access(arm, disk.Request{Start: e.Start, Count: e.Count, Write: req.Write}, now)
 		} else {
 			// Fragmented replicas pay per-extent overheads; rank on the
@@ -169,10 +173,19 @@ func bestReplica(now des.Time, arm disk.State, req *Request, est calib.AccessEst
 			break // only the first allowed replica
 		}
 	}
-	if bestIdx < 0 {
+	return bestIdx, bestT, bestIdx >= 0
+}
+
+// bestReplica returns the allowed replica of the request with the lowest
+// predicted access time. When rotational is false only the primary (or
+// first allowed) replica is considered — conventional schedulers do not
+// know about rotational copies. The request must be schedulable.
+func bestReplica(now des.Time, arm disk.State, req *Request, est calib.AccessEstimator, rotational bool) (int, des.Time) {
+	idx, t, ok := bestAllowedReplica(now, arm, req, est, rotational)
+	if !ok {
 		panic("sched: bestReplica on an unschedulable request")
 	}
-	return bestIdx, bestT
+	return idx, t
 }
 
 // --- FCFS / RFCFS ---
@@ -267,6 +280,11 @@ type look struct {
 	circular   bool
 	dirUp      bool
 	inited     bool
+	// schedBuf memoizes schedulable() per queue slot within a single Pick:
+	// a Pick can scan the queue up to three times (forward scan, flipped or
+	// wrapped scan, same-cylinder selection) and AllowedFn predicates are
+	// not free. Scratch only — valid for the duration of one Pick call.
+	schedBuf []bool
 }
 
 func (l *look) Name() string {
@@ -290,6 +308,13 @@ func (l *look) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Ac
 		rep, t := bestReplica(now, arm, queue[i], est, l.rotational)
 		return Choice{Index: i, Replica: rep, Predicted: t}, true
 	}
+	if cap(l.schedBuf) < len(queue) {
+		l.schedBuf = make([]bool, len(queue))
+	}
+	l.schedBuf = l.schedBuf[:len(queue)]
+	for i, r := range queue {
+		l.schedBuf[i] = schedulable(r)
+	}
 	idx := l.scan(arm, queue)
 	if idx < 0 {
 		if l.circular {
@@ -310,7 +335,7 @@ func (l *look) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Ac
 	if l.rotational {
 		bestIdx, bestRep, bestT := -1, 0, des.Time(math.Inf(1))
 		for i, r := range queue {
-			if !schedulable(r) || r.Replicas[0].first().Start.Cyl != cyl {
+			if !l.schedBuf[i] || r.Replicas[0].first().Start.Cyl != cyl {
 				continue
 			}
 			rep, t := bestReplica(now, arm, r, est, true)
@@ -322,7 +347,7 @@ func (l *look) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Ac
 	}
 	bestIdx := idx
 	for i, r := range queue {
-		if schedulable(r) && r.Replicas[0].first().Start.Cyl == cyl && r.Arrive < queue[bestIdx].Arrive {
+		if l.schedBuf[i] && r.Replicas[0].first().Start.Cyl == cyl && r.Arrive < queue[bestIdx].Arrive {
 			bestIdx = i
 		}
 	}
@@ -331,11 +356,12 @@ func (l *look) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Ac
 }
 
 // scan returns the queue index whose cylinder is nearest to the arm in the
-// current direction, or -1 if none lies that way.
+// current direction, or -1 if none lies that way. Callers must have filled
+// l.schedBuf for this queue.
 func (l *look) scan(arm disk.State, queue []*Request) int {
 	bestIdx, bestDist := -1, math.MaxInt64
 	for i, r := range queue {
-		if !schedulable(r) {
+		if !l.schedBuf[i] {
 			continue
 		}
 		c := r.Replicas[0].first().Start.Cyl
@@ -376,7 +402,7 @@ type satf struct {
 	aging      float64
 }
 
-func (s satf) Name() string {
+func (s *satf) Name() string {
 	switch {
 	case s.rotational && s.aging > 0:
 		return "rasatf"
@@ -388,7 +414,7 @@ func (s satf) Name() string {
 	return "satf"
 }
 
-func (s satf) Pick(now des.Time, arm disk.State, queue []*Request, est calib.AccessEstimator) (Choice, bool) {
+func (s *satf) Pick(now des.Time, arm disk.State, queue []*Request, est calib.AccessEstimator) (Choice, bool) {
 	if len(queue) == 0 {
 		return Choice{}, false
 	}
@@ -400,10 +426,10 @@ func (s satf) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Acc
 	bestT := des.Time(math.Inf(1))
 	bestScore := math.Inf(1)
 	for i, r := range queue {
-		if !schedulable(r) {
+		rep, t, ok := bestAllowedReplica(now, arm, r, est, s.rotational)
+		if !ok {
 			continue
 		}
-		rep, t := bestReplica(now, arm, r, est, s.rotational)
 		score := float64(t) - s.aging*float64(now-r.Arrive)
 		if score < bestScore {
 			bestIdx, bestRep, bestT, bestScore = i, rep, t, score

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Runs the benchmark suite and writes the raw `go test -json` stream to
+# BENCH_<date>.json so the performance trajectory is tracked across PRs.
+#
+#   BENCH='Figure6|DESPushPop' BENCHTIME=3x scripts/bench.sh
+#
+# BENCH filters the benchmark set (default: all), BENCHTIME sets
+# -benchtime (default 1x: one full pass per experiment).
+set -eu
+cd "$(dirname "$0")/.."
+out="BENCH_$(date +%Y%m%d).json"
+go test -json -run '^$' -bench "${BENCH:-.}" -benchtime "${BENCHTIME:-1x}" -benchmem ./... >"$out"
+grep -c '"Action":"output"' "$out" >/dev/null # sanity: stream is non-empty
+echo "wrote $out"

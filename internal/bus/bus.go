@@ -55,12 +55,21 @@ type Completion struct {
 	Submitted des.Time // when Submit was called
 	Observed  des.Time // host-visible completion time
 
+	// Fault is non-zero when the command did not transfer its data: a
+	// transient medium error (full mechanical service, failed transfer) or
+	// a command timeout (no mechanical service at all). The host decides
+	// whether to retry, fail over to another copy, or give up.
+	Fault disk.FaultKind
+
 	// Ground truth, for validation only in prototype mode.
 	MechStart des.Time // when the mechanism began positioning
 	MechDone  des.Time // when the last sector left the media
 	Timing    disk.Timing
 	ArmAfter  disk.State
 }
+
+// OK reports a clean, fault-free completion.
+func (c Completion) OK() bool { return c.Fault == disk.FaultNone }
 
 // ServiceTime is the host-observable service duration.
 func (c Completion) ServiceTime() des.Time { return c.Observed - c.Submitted }
@@ -128,6 +137,10 @@ type Drive struct {
 	arm  disk.State
 	busy bool
 
+	// faults injects per-command transient errors and timeouts; nil (the
+	// default) means the drive never misbehaves.
+	faults *disk.FaultInjector
+
 	// Tagged command queueing.
 	tcqDepth int
 	tcq      []tcqEntry
@@ -189,6 +202,10 @@ func (d *Drive) ArmState() disk.State { return d.arm }
 
 // Busy reports whether a command is in flight.
 func (d *Drive) Busy() bool { return d.busy }
+
+// SetFaults attaches a fault injector (nil disables injection). Attach
+// before submitting commands so the draw sequence is reproducible.
+func (d *Drive) SetFaults(fi *disk.FaultInjector) { d.faults = fi }
 
 // EnableTCQ turns on tagged command queueing with the given depth.
 func (d *Drive) EnableTCQ(depth int) {
@@ -272,6 +289,29 @@ func (d *Drive) start(cmd Command, done func(Completion)) {
 	d.Commands++
 	now := d.sim.Now()
 
+	var fault disk.FaultKind
+	if d.faults != nil {
+		fault = d.faults.Draw()
+	}
+	if fault == disk.FaultTimeout {
+		// The command dies inside the drive: no mechanical service, no arm
+		// movement. The host learns of the loss only when its command timer
+		// expires, which is when the drive becomes usable again (the real
+		// recovery would be an abort/reset cycle).
+		observed := now + d.faults.Model().Timeout()
+		comp := Completion{Cmd: cmd, Submitted: now, Observed: observed, Fault: fault, ArmAfter: d.arm}
+		d.sim.At(observed, func() {
+			d.busy = false
+			d.BusyTime += observed - now
+			if len(d.tcq) > 0 {
+				next := d.pickTCQ()
+				d.start(next.cmd, next.done)
+			}
+			done(comp)
+		})
+		return
+	}
+
 	var pre, post des.Time
 	if d.noise != nil {
 		pre = d.noise.draw(d.rng, d.noise.PreBase, d.noise.PreJitter)
@@ -294,6 +334,7 @@ func (d *Drive) start(cmd Command, done func(Completion)) {
 		Cmd:       cmd,
 		Submitted: now,
 		Observed:  observed,
+		Fault:     fault, // FaultNone or FaultTransient (full service, bad transfer)
 		MechStart: mechStart,
 		MechDone:  tm.Done,
 		Timing:    tm,

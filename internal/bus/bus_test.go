@@ -210,6 +210,81 @@ func TestTCQInternalScheduling(t *testing.T) {
 	}
 }
 
+func TestFaultTimeoutCompletion(t *testing.T) {
+	sim, drv := simDrive(t)
+	// TimeoutRate 0.5 with seed 1: find a draw that times out by submitting
+	// until one fires; the first faulted completion must obey the timeout
+	// contract exactly.
+	drv.SetFaults(disk.NewFaultInjector(disk.FaultModel{TimeoutRate: 0.5}, 1))
+	armBefore := drv.ArmState()
+	for i := 0; i < 64; i++ {
+		var comp Completion
+		drv.Submit(Command{Op: OpRead, LBA: int64(i) * 1000, Count: 4}, func(c Completion) { comp = c })
+		sim.Run()
+		if comp.Fault == disk.FaultTimeout {
+			if comp.OK() {
+				t.Fatal("timed-out completion reported OK")
+			}
+			if got, want := comp.Observed-comp.Submitted, disk.DefaultFaultTimeout; got != want {
+				t.Fatalf("timeout took %v, want %v", got, want)
+			}
+			if comp.ArmAfter != armBefore {
+				t.Fatal("arm moved during a command timeout")
+			}
+			if drv.Busy() {
+				t.Fatal("drive still busy after timeout")
+			}
+			return
+		}
+		armBefore = drv.ArmState()
+	}
+	t.Fatal("no timeout drawn in 64 commands at rate 0.5")
+}
+
+func TestFaultTransientCompletion(t *testing.T) {
+	sim, drv := simDrive(t)
+	drv.SetFaults(disk.NewFaultInjector(disk.FaultModel{TransientRate: 0.5}, 1))
+	for i := 0; i < 64; i++ {
+		var comp Completion
+		drv.Submit(Command{Op: OpRead, LBA: int64(i) * 1000, Count: 4}, func(c Completion) { comp = c })
+		sim.Run()
+		if comp.Fault == disk.FaultTransient {
+			if comp.OK() {
+				t.Fatal("transient-fault completion reported OK")
+			}
+			// Full mechanical service happened: timeline fields are populated
+			// just like a clean command.
+			if comp.MechDone <= comp.MechStart || comp.Observed <= comp.MechDone {
+				t.Fatalf("transient fault skipped mechanical service: %+v", comp)
+			}
+			return
+		}
+	}
+	t.Fatal("no transient fault drawn in 64 commands at rate 0.5")
+}
+
+func TestFaultSequenceDeterministic(t *testing.T) {
+	run := func() []disk.FaultKind {
+		sim := des.New()
+		drv := NewSim(sim, disk.ST39133LWV().MustNew())
+		drv.SetFaults(disk.NewFaultInjector(disk.FaultModel{TransientRate: 0.3, TimeoutRate: 0.2}, 42))
+		var seq []disk.FaultKind
+		for i := 0; i < 50; i++ {
+			drv.Submit(Command{Op: OpRead, LBA: int64(i) * 777, Count: 2}, func(c Completion) {
+				seq = append(seq, c.Fault)
+			})
+			sim.Run()
+		}
+		return seq
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestTCQOverflowPanics(t *testing.T) {
 	_, drv := simDrive(t)
 	drv.EnableTCQ(2)

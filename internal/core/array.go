@@ -48,6 +48,9 @@ type Result struct {
 	// configurations survive single failures; striping and plain SR-Arrays
 	// do not — the reliability side of the capacity tradeoff.
 	Failed bool
+	// Err classifies the first failure when Failed is set (ErrDataLost or
+	// ErrNoFreshReplica); nil otherwise.
+	Err error
 }
 
 // Latency is the response time.
@@ -94,6 +97,20 @@ type Options struct {
 	// interval (0 keeps the default two minutes).
 	RecalibrateEvery des.Time
 
+	// Faults injects per-drive transient errors and command timeouts (see
+	// disk.FaultModel). Each drive draws from its own stream seeded off
+	// Seed, so fault sequences are reproducible and a zero model leaves
+	// existing runs byte-identical.
+	Faults disk.FaultModel
+	// Spares adds hot-spare drives beyond Config.Disks(). When a drive of
+	// a mirrored configuration (Dm >= 2) fail-stops, a spare is swapped
+	// into its slot and the lost chunks are reconstructed from surviving
+	// mirrors in the background.
+	Spares int
+	// RebuildMBps caps the reconstruction bandwidth of a rebuild so
+	// foreground latency stays bounded; 0 means 8 MB/s.
+	RebuildMBps float64
+
 	// Ablation knobs (all default to the paper's design).
 	//
 	// FixedSlack pins the rotational slack to a constant k instead of the
@@ -116,7 +133,15 @@ type Array struct {
 	lay  *layout.Layout
 
 	drives []*drive
-	reqSeq uint64
+	// spares holds the unused hot spares, consumed front-first by
+	// rebuilds.
+	spares []*drive
+	// rebuild is the active hot-spare rebuild, nil when none is running.
+	rebuild *rebuildState
+	// lostChunks records chunks no rebuild could reconstruct — data that
+	// is permanently gone.
+	lostChunks map[int64]bool
+	reqSeq     uint64
 
 	// writeGate serializes delayed-mode first-copy writes per chunk: two
 	// concurrent first copies of the same chunk landing on different
@@ -133,6 +158,7 @@ type Array struct {
 	RotationMisses int64
 	Dispatches     int64
 
+	faults    FaultCounters
 	breakdown Breakdown
 }
 
@@ -181,6 +207,10 @@ type drive struct {
 	// failed marks a fail-stopped drive: it finishes its in-flight command
 	// and then accepts no further work.
 	failed bool
+	// missing marks chunks this drive holds no valid data for — a
+	// swapped-in spare before its rebuild reaches them, or chunks lost
+	// outright. Reads and writes steer around them.
+	missing map[int64]bool
 	// lastActive is the last time foreground work touched the drive; the
 	// idle-delay gate for background propagation measures from it.
 	lastActive des.Time
@@ -214,6 +244,18 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 	if opts.TCQDepth > 0 && opts.Policy != "fcfs" && opts.Policy != "rfcfs" {
 		return nil, fmt.Errorf("core: TCQ delegates ordering to the drive; host policy must be fcfs or rfcfs, not %q", opts.Policy)
 	}
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Spares < 0 {
+		return nil, fmt.Errorf("core: negative spare count %d", opts.Spares)
+	}
+	if opts.RebuildMBps < 0 {
+		return nil, fmt.Errorf("core: negative rebuild bandwidth %v", opts.RebuildMBps)
+	}
+	if opts.RebuildMBps == 0 {
+		opts.RebuildMBps = 8
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	// Build a reference drive to size the volume.
@@ -241,10 +283,14 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &Array{sim: sim, opts: opts, lay: lay, nvramCap: opts.NVRAMEntries, writeGate: make(map[int64][]func())}
+	a := &Array{
+		sim: sim, opts: opts, lay: lay, nvramCap: opts.NVRAMEntries,
+		writeGate:  make(map[int64][]func()),
+		lostChunks: make(map[int64]bool),
+	}
 
 	noise := bus.DefaultNoise()
-	for i := 0; i < opts.Config.Disks(); i++ {
+	newDrive := func(i int) (*drive, error) {
 		sp := opts.Spec
 		sp.Phase = rng.Float64()
 		if opts.Prototype {
@@ -288,10 +334,33 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 		if opts.TCQDepth > 0 {
 			d.bus.EnableTCQ(opts.TCQDepth)
 		}
+		// A distinct stream per drive keeps fault sequences independent of
+		// each other and of every other randomness source.
+		d.bus.SetFaults(disk.NewFaultInjector(opts.Faults, opts.Seed+int64(i)*15485863+3))
+		return d, nil
+	}
+	for i := 0; i < opts.Config.Disks(); i++ {
+		d, err := newDrive(i)
+		if err != nil {
+			return nil, err
+		}
 		a.drives = append(a.drives, d)
+	}
+	// Spares come after the main drives so that a Spares=0 configuration
+	// consumes exactly the seed's random stream and stays byte-identical.
+	for k := 0; k < opts.Spares; k++ {
+		d, err := newDrive(opts.Config.Disks() + k)
+		if err != nil {
+			return nil, err
+		}
+		a.spares = append(a.spares, d)
 	}
 	if opts.Prototype {
 		for _, d := range a.drives {
+			d.trk.Bootstrap(sim, d.bus)
+			a.RefReads += int64(d.trk.ObsCount)
+		}
+		for _, d := range a.spares {
 			d.trk.Bootstrap(sim, d.bus)
 			a.RefReads += int64(d.trk.ObsCount)
 		}
@@ -386,7 +455,12 @@ func (a *Array) mergeReadPieces(pieces []layout.Piece) []layout.Piece {
 	}
 	fresh := func(p *layout.Piece) bool {
 		for _, id := range p.Mirrors {
-			if a.freshMask(a.drives[id], p.Chunk) != nil {
+			d := a.drives[id]
+			// A drive whose copy of this chunk is gone (failed drive) or
+			// not yet reconstructed (rebuilding spare) makes freshness
+			// non-uniform across the merged range, so the pieces must stay
+			// separate and route chunk-by-chunk.
+			if d.failed || d.unreadable(p.Chunk) || a.freshMask(d, p.Chunk) != nil {
 				return false
 			}
 		}
@@ -455,6 +529,7 @@ type userRequest struct {
 	submit    des.Time
 	remaining int
 	failed    bool
+	err       error
 	done      func(Result)
 }
 
@@ -463,35 +538,60 @@ func (ur *userRequest) pieceDone() {
 	if ur.remaining > 0 {
 		return
 	}
+	if ur.failed {
+		if ur.op == Read {
+			ur.a.faults.FailedReads++
+		} else {
+			ur.a.faults.FailedWrites++
+		}
+	}
 	if ur.done != nil {
 		ur.done(Result{
 			Op: ur.op, Off: ur.off, Count: ur.count, Async: ur.async,
-			Submit: ur.submit, Done: ur.a.sim.Now(), Failed: ur.failed,
+			Submit: ur.submit, Done: ur.a.sim.Now(), Failed: ur.failed, Err: ur.err,
 		})
 	}
 }
 
-// pieceFailed records that a piece had no surviving copy.
-func (ur *userRequest) pieceFailed() {
+// pieceFailed records that a piece had no surviving copy, keeping the
+// first cause for the Result.
+func (ur *userRequest) pieceFailed(err error) {
 	ur.failed = true
+	if ur.err == nil {
+		ur.err = err
+	}
 	ur.pieceDone()
 }
 
 // FailDrive fail-stops drive i: the in-flight command (if any) finishes,
 // queued work is rerouted to surviving mirrors or failed, pending replica
 // propagation to the drive is dropped, and no further commands are
-// accepted. There is no rebuild: the array runs degraded, as the paper's
-// reliability discussion assumes.
-func (a *Array) FailDrive(i int) {
+// accepted. With a hot spare configured and Dm >= 2, a rebuild starts
+// reconstructing the lost chunks onto the spare; otherwise the array runs
+// degraded, as the paper's reliability discussion assumes. Failing an
+// already-failed drive is a no-op; an out-of-range index returns
+// ErrDriveIndex.
+func (a *Array) FailDrive(i int) error {
+	if i < 0 || i >= len(a.drives) {
+		return fmt.Errorf("%w: FailDrive(%d) with %d drives", ErrDriveIndex, i, len(a.drives))
+	}
 	d := a.drives[i]
 	if d.failed {
-		return
+		return nil
 	}
 	d.failed = true
+	// A rebuild writing onto this drive dies with it; cancel before
+	// dropping its queues so the per-chunk callbacks see the cancellation.
+	if a.rebuild != nil && a.rebuild.slot == i {
+		a.cancelRebuild()
+	}
 	// Drop pending propagation to this drive; the copies are lost but the
-	// table entries must still resolve.
+	// table entries must still resolve. Rebuild reconstruction copies never
+	// marked staleness (the chunk was missing outright).
 	for _, c := range d.delayed {
-		a.clearStale(d, c.chunk, c.replica)
+		if !c.rebuild {
+			a.clearStale(d, c.chunk, c.replica)
+		}
 		a.copyEntryDone(c.entry)
 	}
 	d.delayed = nil
@@ -520,7 +620,12 @@ func (a *Array) FailDrive(i int) {
 		}
 		tag.fail()
 	}
+	a.maybeStartRebuild()
+	return nil
 }
 
-// Alive reports whether drive i accepts work.
-func (a *Array) Alive(i int) bool { return !a.drives[i].failed }
+// Alive reports whether drive i accepts work. Out-of-range indexes are
+// simply not alive.
+func (a *Array) Alive(i int) bool {
+	return i >= 0 && i < len(a.drives) && !a.drives[i].failed
+}

@@ -71,6 +71,12 @@ func (a *Array) clearStale(d *drive, chunk int64, replica int) {
 // first write needs to persist (Section 3.4), so entries are tiny.
 type propEntry struct {
 	remaining int
+	// tracked entries occupy NVRAM table space; rebuild reconstruction
+	// entries do not (their state is recomputable from the chunk list).
+	tracked bool
+	// onAllDone fires when the last copy resolves (rebuild uses it to
+	// advance to the next chunk).
+	onAllDone func()
 }
 
 // delayedCopy is one pending replica propagation on one drive.
@@ -81,6 +87,10 @@ type delayedCopy struct {
 	chunk   int64
 	off     int64
 	count   int
+	// rebuild marks reconstruction writes onto a spare: they carry no
+	// staleness marks (the chunk is missing outright, a stronger state
+	// tracked by drive.missing).
+	rebuild bool
 }
 
 // submitWrite routes one write piece. In foreground mode every copy is a
@@ -89,12 +99,15 @@ type delayedCopy struct {
 // (duplicated across mirrors, any replica) and the rest are set aside in
 // per-drive delayed queues.
 func (a *Array) submitWrite(ur *userRequest, p *layout.Piece) {
+	// One first copy per chunk at a time (see Array.writeGate). In
+	// foreground mode only a rebuild ever holds the gate (reconstruction
+	// must not interleave with a write of the same chunk); foreground
+	// writes queue behind it but never acquire it themselves.
+	if waiting, gated := a.writeGate[p.Chunk]; gated {
+		a.writeGate[p.Chunk] = append(waiting, func() { a.submitWriteGated(ur, p) })
+		return
+	}
 	if !a.opts.ForegroundWrites {
-		// One first copy per chunk at a time (see Array.writeGate).
-		if waiting, gated := a.writeGate[p.Chunk]; gated {
-			a.writeGate[p.Chunk] = append(waiting, func() { a.submitWriteGated(ur, p) })
-			return
-		}
 		a.writeGate[p.Chunk] = nil
 	}
 	a.submitWriteGated(ur, p)
@@ -106,6 +119,15 @@ func (a *Array) releaseWriteGate(chunk int64) {
 	waiting, gated := a.writeGate[chunk]
 	if !gated {
 		panic("core: releasing an open write gate")
+	}
+	if a.opts.ForegroundWrites {
+		// Only rebuild holds gates in this mode and foreground writes do
+		// not re-acquire, so flush every waiter at once.
+		delete(a.writeGate, chunk)
+		for _, w := range waiting {
+			w()
+		}
+		return
 	}
 	if len(waiting) == 0 {
 		delete(a.writeGate, chunk)
@@ -119,16 +141,21 @@ func (a *Array) releaseWriteGate(chunk int64) {
 func (a *Array) submitWriteGated(ur *userRequest, p *layout.Piece) {
 	live := p.Mirrors[:0:0]
 	for _, id := range p.Mirrors {
-		if !a.drives[id].failed {
+		d := a.drives[id]
+		// A rebuilding spare takes no writes for chunks it has not
+		// reconstructed: a partial write into a missing chunk would leave
+		// it half-built. The reconstruction copies the surviving mirror —
+		// including this write — when it reaches the chunk.
+		if !d.failed && !d.unreadable(p.Chunk) {
 			live = append(live, id)
 		}
 	}
 	if len(live) == 0 {
 		// No surviving copy can take the data.
-		if !a.opts.ForegroundWrites {
+		if _, gated := a.writeGate[p.Chunk]; gated && !a.opts.ForegroundWrites {
 			a.releaseWriteGate(p.Chunk)
 		}
-		ur.pieceFailed()
+		ur.pieceFailed(fmt.Errorf("%w: write of chunk %d", ErrDataLost, p.Chunk))
 		return
 	}
 	if a.opts.ForegroundWrites {
@@ -147,12 +174,21 @@ func (a *Array) submitWriteGated(ur *userRequest, p *layout.Piece) {
 					Write:    true,
 					Arrive:   a.sim.Now(),
 					Replicas: []sched.Replica{{Extents: p.Replicas[j]}},
-					Tag: &reqTag{
-						onDone: func(bus.Completion, int) { done() },
-						// A copy lost to a failure mid-queue still counts
-						// toward completion: the write survives on the
-						// remaining copies.
-						onFail: done,
+				}
+				req.Tag = &reqTag{
+					onDone: func(bus.Completion, int) { done() },
+					onFail: func() {
+						// A copy lost to a drive failure mid-queue still
+						// counts toward completion: the write survives on
+						// the remaining copies. A transient double-fault
+						// with the drive alive must land eventually — the
+						// copy is what keeps this mirror fresh.
+						if !d.failed {
+							req.Arrive = a.sim.Now()
+							a.enqueue(d, req)
+							return
+						}
+						done()
 					},
 				}
 				a.enqueue(d, req)
@@ -225,11 +261,13 @@ func (a *Array) registerPropagation(p *layout.Piece, first *drive, chosen int) {
 		// marking them stale against an unreadable source.
 		return
 	}
-	entry := &propEntry{}
+	entry := &propEntry{tracked: true}
 	var touched []*drive
 	for _, id := range p.Mirrors {
 		d := a.drives[id]
-		if d.failed {
+		if d.failed || d.unreadable(p.Chunk) {
+			// No propagation into a missing chunk: rebuild will copy the
+			// whole chunk (including this write) from a fresh mirror.
 			continue
 		}
 		for j := 0; j < a.opts.Config.Dr; j++ {
@@ -285,7 +323,12 @@ func (a *Array) copyEntryDone(e *propEntry) {
 		panic("core: propagation entry over-completed")
 	}
 	if e.remaining == 0 {
-		a.nvramUsed--
+		if e.tracked {
+			a.nvramUsed--
+		}
+		if e.onAllDone != nil {
+			e.onAllDone()
+		}
 	}
 }
 
@@ -309,14 +352,26 @@ func (a *Array) dispatchDelayed(d *drive) {
 	c := d.delayed[bestI]
 	d.delayed = append(d.delayed[:bestI], d.delayed[bestI+1:]...)
 	req := &sched.Request{ID: a.nextID(), Write: true, Arrive: a.sim.Now()}
-	a.runExtents(d, req, c.extents, 0, func(bus.Completion) {
-		a.finishCopy(d, c)
+	a.runExtents(d, req, c.extents, func(_ bus.Completion, clean bool) {
+		switch {
+		case clean:
+			a.finishCopy(d, c)
+		case d.failed:
+			// The copy dies with the drive; resolve its table entry.
+			a.finishCopy(d, c)
+		default:
+			// Double fault with the drive alive: the copy must still land.
+			// Put it back at the front and let the next idle window retry.
+			d.delayed = append([]*delayedCopy{c}, d.delayed...)
+		}
 		a.kick(d)
 	})
 }
 
 func (a *Array) finishCopy(d *drive, c *delayedCopy) {
-	a.clearStale(d, c.chunk, c.replica)
+	if !c.rebuild {
+		a.clearStale(d, c.chunk, c.replica)
+	}
 	a.copyEntryDone(c.entry)
 }
 
@@ -357,9 +412,21 @@ func (a *Array) promoteCopy(d *drive, c *delayedCopy) {
 		Write:    true,
 		Arrive:   a.sim.Now(),
 		Replicas: []sched.Replica{{Extents: c.extents}},
-		Tag: &reqTag{onDone: func(bus.Completion, int) {
-			a.finishCopy(d, c)
-		}},
+		Tag: &reqTag{
+			onDone: func(bus.Completion, int) {
+				a.finishCopy(d, c)
+			},
+			onFail: func() {
+				// Keep trying while the drive lives (the copy holds a
+				// staleness mark that must resolve); with the drive gone
+				// the copy is lost but the entry still resolves.
+				if !d.failed {
+					a.promoteCopy(d, c)
+					return
+				}
+				a.finishCopy(d, c)
+			},
+		},
 	}
 	a.enqueue(d, req)
 }
@@ -382,8 +449,12 @@ func (a *Array) RecoverDelayed() int {
 }
 
 // Idle reports whether the array has no queued, in-flight, or delayed
-// work.
+// work. An active rebuild counts as work even between paced chunks, so
+// Drain waits for reconstruction to finish.
 func (a *Array) Idle() bool {
+	if a.rebuild != nil {
+		return false
+	}
 	for _, d := range a.drives {
 		if d.bus.Busy() || len(d.queue) > 0 || len(d.delayed) > 0 {
 			return false
@@ -422,6 +493,11 @@ func (a *Array) SnapshotNVRAM() ([]byte, error) {
 	var entries []nvramEntry
 	for _, d := range a.drives {
 		for _, c := range d.delayed {
+			if c.rebuild {
+				// Reconstruction copies are not table entries; a restarted
+				// array recomputes them from the missing-chunk set.
+				continue
+			}
 			entries = append(entries, nvramEntry{
 				Off: c.off, Count: int32(c.count), Disk: int32(d.id), Replica: int32(c.replica),
 			})
@@ -468,7 +544,16 @@ func (a *Array) AdoptNVRAM(snapshot []byte) (int, error) {
 				Write:    true,
 				Arrive:   a.sim.Now(),
 				Replicas: []sched.Replica{{Extents: p.Replicas[e.Replica]}},
-				Tag:      &reqTag{onDone: func(bus.Completion, int) {}},
+			}
+			req.Tag = &reqTag{
+				onDone: func(bus.Completion, int) {},
+				onFail: func() {
+					// Recovery writes must land while the drive lives.
+					if !d.failed {
+						req.Arrive = a.sim.Now()
+						a.enqueue(d, req)
+					}
+				},
 			}
 			a.enqueue(d, req)
 			n++

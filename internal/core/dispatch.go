@@ -129,6 +129,10 @@ func (a *Array) enqueueRef(d *drive) {
 				d.trk.Observe(last)
 				d.refInFlight = false
 			},
+			// A faulted reference read is simply dropped — the tracker
+			// retries at the next due time — but the in-flight latch must
+			// clear or head tracking stops forever.
+			onFail: func() { d.refInFlight = false },
 		},
 	}
 	d.queue = append(d.queue, req)
@@ -154,10 +158,20 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 	a.Dispatches++
 	extents := req.Replicas[choice.Replica].Extents
 	start := a.sim.Now()
-	a.runExtents(d, req, extents, 0, func(last bus.Completion) {
+	a.runExtents(d, req, extents, func(last bus.Completion, clean bool) {
 		d.lastActive = a.sim.Now()
+		if !clean {
+			// The in-drive retry also faulted (or the drive fail-stopped):
+			// give up on this dispatch and reroute through the failure path
+			// — for reads and first-copy writes that resubmits against the
+			// surviving mirrors.
+			a.faults.Failovers++
+			tag.fail()
+			a.kick(d)
+			return
+		}
 		a.account(d, req, choice, extents, start, last)
-		if !req.Priority {
+		if !req.Priority && !req.Background {
 			b := &a.breakdown
 			b.N++
 			b.Queue += start - req.Arrive
@@ -172,24 +186,42 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 }
 
 // runExtents submits a replica's extents back-to-back and calls done with
-// the final completion.
-func (a *Array) runExtents(d *drive, req *sched.Request, extents []disk.Extent, i int, done func(bus.Completion)) {
-	e := extents[i]
-	lba, err := d.dsk.Geom.PhysToLBA(e.Start)
-	if err != nil {
-		panic(fmt.Sprintf("core: layout produced unmappable extent %v: %v", e.Start, err))
-	}
+// the final completion. A faulted command is retried once in-drive (the
+// SCSI-driver policy: one immediate reissue before escalating); a second
+// fault on the same extent abandons the run with clean=false and the
+// caller's failure path takes over. Timing of a faulted run must not feed
+// calibration or breakdown accounting.
+func (a *Array) runExtents(d *drive, req *sched.Request, extents []disk.Extent, done func(last bus.Completion, clean bool)) {
 	op := bus.OpRead
 	if req.Write {
 		op = bus.OpWrite
 	}
-	d.bus.Submit(bus.Command{Op: op, LBA: lba, Count: e.Count}, func(comp bus.Completion) {
-		if i+1 < len(extents) {
-			a.runExtents(d, req, extents, i+1, done)
-			return
+	var run func(i int, retried bool)
+	run = func(i int, retried bool) {
+		e := extents[i]
+		lba, err := d.dsk.Geom.PhysToLBA(e.Start)
+		if err != nil {
+			panic(fmt.Sprintf("core: layout produced unmappable extent %v: %v", e.Start, err))
 		}
-		done(comp)
-	})
+		d.bus.Submit(bus.Command{Op: op, LBA: lba, Count: e.Count}, func(comp bus.Completion) {
+			if !comp.OK() {
+				a.noteFault(comp.Fault)
+				if !retried && !d.failed {
+					a.faults.Retries++
+					run(i, true)
+					return
+				}
+				done(comp, false)
+				return
+			}
+			if i+1 < len(extents) {
+				run(i+1, false)
+				return
+			}
+			done(comp, true)
+		})
+	}
+	run(0, false)
 }
 
 // account feeds prediction accuracy and the slack feedback loop (prototype
@@ -198,7 +230,7 @@ func (a *Array) account(d *drive, req *sched.Request, choice sched.Choice, exten
 	if d.trk == nil {
 		return
 	}
-	if len(extents) == 1 && !req.Priority && a.opts.TCQDepth == 0 {
+	if len(extents) == 1 && !req.Priority && !req.Background && a.opts.TCQDepth == 0 {
 		// (Under TCQ the measured time includes the drive's internal
 		// queueing, which the host prediction cannot see; accuracy
 		// accounting only makes sense for host-scheduled commands.)
@@ -230,11 +262,13 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 		mask []bool
 	}
 	var cands []cand
-	anyFailed := false
+	anyUnreachable := false
 	for _, id := range p.Mirrors {
 		d := a.drives[id]
-		if d.failed {
-			anyFailed = true
+		if d.failed || d.unreadable(p.Chunk) {
+			// Gone outright, or a rebuilding spare that has not
+			// reconstructed this chunk yet.
+			anyUnreachable = true
 			continue
 		}
 		mask := a.freshMask(d, p.Chunk)
@@ -244,24 +278,19 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 		cands = append(cands, cand{d, mask})
 	}
 	if len(cands) == 0 {
-		if anyFailed {
-			// Every surviving mirror is stale or gone: the data is
-			// unreachable. Degraded-mode reads fail here.
-			ur.pieceFailed()
-			return
+		// Degraded-mode reads fail here with ErrDataLost: every copy is on
+		// a failed drive or was lost before rebuild reached it. The
+		// all-drives-alive case should be unreachable (the most recent
+		// first-written copy is fresh by construction) but surfaces as a
+		// failed read with ErrNoFreshReplica rather than killing a long
+		// simulation — a staleness-tracking bug degrades, it does not
+		// panic.
+		if anyUnreachable {
+			ur.pieceFailed(fmt.Errorf("%w: chunk %d", ErrDataLost, p.Chunk))
+		} else {
+			ur.pieceFailed(fmt.Errorf("%w: chunk %d", ErrNoFreshReplica, p.Chunk))
 		}
-		// Should be unreachable with all drives alive: the most recent
-		// first-written copy is fresh by construction.
-		msg := fmt.Sprintf("core: no fresh replica anywhere for read of chunk %d:", p.Chunk)
-		for _, id := range p.Mirrors {
-			d := a.drives[id]
-			if cs := d.stale[p.Chunk]; cs != nil {
-				msg += fmt.Sprintf(" disk%d=%v", id, cs.staleCount)
-			} else {
-				msg += fmt.Sprintf(" disk%d=fresh", id)
-			}
-		}
-		panic(msg)
+		return
 	}
 	mkReq := func(c cand, g *dupGroup) *sched.Request {
 		return &sched.Request{

@@ -1,0 +1,20 @@
+package core
+
+import "errors"
+
+// Typed errors for the recoverable failure paths. True layout invariants
+// still panic; anything a drive failure can cause at runtime surfaces as a
+// Failed result carrying one of these (wrapped with context), so callers
+// can distinguish data loss from caller bugs with errors.Is.
+var (
+	// ErrDriveIndex reports a drive index outside [0, Disks()).
+	ErrDriveIndex = errors.New("core: drive index out of range")
+	// ErrDataLost reports that every copy of the requested data is on a
+	// failed drive or was lost before a rebuild could reconstruct it.
+	ErrDataLost = errors.New("core: data unreachable, all copies failed or lost")
+	// ErrNoFreshReplica reports a read that found every surviving replica
+	// stale — reachable only through a staleness-tracking bug, surfaced as
+	// a failed read rather than a panic so a long simulation degrades
+	// instead of dying.
+	ErrNoFreshReplica = errors.New("core: no fresh replica available")
+)

@@ -1,0 +1,44 @@
+package core
+
+import "repro/internal/disk"
+
+// FaultCounters aggregates the array's degraded-mode activity: how often
+// injected faults fired, how the retry/failover policy responded, and what
+// the user-visible damage was. All counts are cumulative since
+// construction.
+type FaultCounters struct {
+	// Transients and Timeouts count injected faults observed at the array
+	// layer (after the bus surfaced them).
+	Transients int64
+	Timeouts   int64
+	// Retries counts in-drive retries: the same command reissued once on
+	// the same drive after a fault.
+	Retries int64
+	// Failovers counts dispatched requests that exhausted their in-drive
+	// retry and were rerouted through the failure path (typically to a
+	// surviving mirror).
+	Failovers int64
+	// FailedReads and FailedWrites count logical requests that completed
+	// with Failed set — data loss visible to the caller.
+	FailedReads  int64
+	FailedWrites int64
+	// RebuildsStarted and RebuildsDone count hot-spare rebuilds.
+	RebuildsStarted int64
+	RebuildsDone    int64
+	// LostChunks counts chunks a rebuild could not reconstruct from any
+	// surviving replica.
+	LostChunks int64
+}
+
+// Faults returns a snapshot of the degraded-mode counters.
+func (a *Array) Faults() FaultCounters { return a.faults }
+
+// noteFault tallies an injected fault surfaced by the bus.
+func (a *Array) noteFault(k disk.FaultKind) {
+	switch k {
+	case disk.FaultTransient:
+		a.faults.Transients++
+	case disk.FaultTimeout:
+		a.faults.Timeouts++
+	}
+}

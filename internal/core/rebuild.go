@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// Hot-spare rebuild: when a drive of a mirrored configuration (Dm >= 2)
+// fail-stops and a spare is available, the spare is swapped into the dead
+// drive's slot and every chunk of that position is reconstructed from a
+// surviving mirror. Reconstruction runs chunk-by-chunk:
+//
+//   - the pump paces chunk starts to Options.RebuildMBps, so rebuild
+//     bandwidth — not foreground latency — is what the cap sacrifices;
+//   - each chunk takes the per-chunk write gate, so reconstruction never
+//     interleaves with a foreground write of the same chunk;
+//   - the source read is a Background request: it yields to foreground
+//     traffic on the source drive until it has waited
+//     sched.BackgroundMaxWait;
+//   - the Dr replica writes onto the spare ride the delayed-write queue,
+//     sharing one propEntry whose completion advances the pump;
+//   - a chunk with no surviving fresh source is recorded as lost and the
+//     rebuild moves on — partial restoration beats none.
+//
+// While a chunk is still missing on the spare, reads and writes steer
+// around it (drive.missing); the rebuild copies whatever the surviving
+// mirror holds when it reaches the chunk, so writes accepted mid-rebuild
+// are never lost.
+
+// DriveStatus classifies one drive slot's health.
+type DriveStatus int
+
+const (
+	// DriveHealthy holds every chunk of its position.
+	DriveHealthy DriveStatus = iota
+	// DriveRebuilding is a swapped-in spare still being reconstructed.
+	DriveRebuilding
+	// DriveDegraded finished (or had cancelled) a rebuild with chunks
+	// permanently lost.
+	DriveDegraded
+	// DriveFailed is fail-stopped (or the index is out of range).
+	DriveFailed
+)
+
+func (s DriveStatus) String() string {
+	switch s {
+	case DriveHealthy:
+		return "healthy"
+	case DriveRebuilding:
+		return "rebuilding"
+	case DriveDegraded:
+		return "degraded"
+	default:
+		return "failed"
+	}
+}
+
+// DriveState reports the health of drive slot i.
+func (a *Array) DriveState(i int) DriveStatus {
+	if i < 0 || i >= len(a.drives) || a.drives[i].failed {
+		return DriveFailed
+	}
+	if a.rebuild != nil && a.rebuild.slot == i {
+		return DriveRebuilding
+	}
+	if len(a.drives[i].missing) > 0 {
+		return DriveDegraded
+	}
+	return DriveHealthy
+}
+
+// Spares returns how many hot spares remain unconsumed.
+func (a *Array) Spares() int { return len(a.spares) }
+
+// RebuildProgress describes the active rebuild, if any.
+type RebuildProgress struct {
+	Active bool
+	// Slot is the drive index being reconstructed.
+	Slot int
+	// Total, Done and Lost count chunks of the rebuilt position.
+	Total, Done, Lost int
+	// ETA estimates the remaining reconstruction time at the configured
+	// bandwidth cap.
+	ETA des.Time
+}
+
+// RebuildProgress returns a snapshot of the active rebuild (zero value
+// when none is running).
+func (a *Array) RebuildProgress() RebuildProgress {
+	st := a.rebuild
+	if st == nil {
+		return RebuildProgress{}
+	}
+	remaining := st.total - st.done - st.lost
+	unit := int64(a.lay.StripeUnit())
+	perChunk := des.Time(float64(unit*disk.SectorSize) / a.opts.RebuildMBps)
+	return RebuildProgress{
+		Active: true, Slot: st.slot,
+		Total: st.total, Done: st.done, Lost: st.lost,
+		ETA: des.Time(remaining) * perChunk,
+	}
+}
+
+// LostChunks returns how many chunks are permanently unreadable.
+func (a *Array) LostChunks() int { return len(a.lostChunks) }
+
+// unreadable reports that this drive holds no valid data for the chunk.
+func (d *drive) unreadable(chunk int64) bool {
+	return d.missing != nil && d.missing[chunk]
+}
+
+// rebuildState is one in-progress reconstruction. Exactly one runs at a
+// time; further failures wait (degraded) until it finishes and another
+// spare is available.
+type rebuildState struct {
+	slot    int
+	pending []int64 // chunks of the slot's position, ascending
+	next    int     // index into pending of the next chunk to start
+	total   int
+	done    int
+	lost    int
+	started des.Time
+	// activeChunk/gateHeld track write-gate ownership for cancellation;
+	// activeChunk is meaningful only while gateHeld.
+	activeChunk int64
+	gateHeld    bool
+	cancelled   bool
+	// nextAt is the earliest start time of the next chunk — the pacing
+	// that caps reconstruction bandwidth.
+	nextAt des.Time
+}
+
+// maybeStartRebuild begins reconstructing the lowest-numbered failed slot
+// if a spare is available, the configuration has mirror redundancy to
+// rebuild from, and no rebuild is already running.
+func (a *Array) maybeStartRebuild() {
+	if a.rebuild != nil || len(a.spares) == 0 || a.opts.Config.Dm < 2 {
+		return
+	}
+	slot := -1
+	for i, d := range a.drives {
+		if d.failed {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return
+	}
+	spare := a.spares[0]
+	a.spares = a.spares[1:]
+	spare.id = slot
+	a.drives[slot] = spare
+
+	// Every chunk of the slot's position is missing until reconstructed.
+	g := int64(a.opts.Config.Positions())
+	unit := int64(a.lay.StripeUnit())
+	numChunks := (a.lay.DataSectors() + unit - 1) / unit
+	spare.missing = make(map[int64]bool)
+	var pending []int64
+	for c := int64(slot % a.opts.Config.Positions()); c < numChunks; c += g {
+		spare.missing[c] = true
+		pending = append(pending, c)
+	}
+	st := &rebuildState{
+		slot: slot, pending: pending, total: len(pending),
+		started: a.sim.Now(), activeChunk: -1, nextAt: a.sim.Now(),
+	}
+	a.rebuild = st
+	a.faults.RebuildsStarted++
+	a.scheduleNextChunk(st)
+}
+
+// cancelRebuild abandons the active rebuild (its target drive failed).
+// Chunks already reconstructed stay valid on the — now failed — spare's
+// slot only as history; the remaining missing chunks die with it.
+func (a *Array) cancelRebuild() {
+	st := a.rebuild
+	if st == nil {
+		return
+	}
+	st.cancelled = true
+	if st.gateHeld {
+		st.gateHeld = false
+		a.releaseWriteGate(st.activeChunk)
+	}
+	a.rebuild = nil
+}
+
+// rebuildInterval is the pacing delay the chunk's size earns at the
+// bandwidth cap.
+func (a *Array) rebuildInterval(c int64) des.Time {
+	unit := int64(a.lay.StripeUnit())
+	count := unit
+	if rest := a.lay.DataSectors() - c*unit; rest < count {
+		count = rest
+	}
+	// bytes / (MB/s) = bytes/(bytes/µs) = µs, the 1e6 factors cancel.
+	return des.Time(float64(count*disk.SectorSize) / a.opts.RebuildMBps)
+}
+
+// scheduleNextChunk starts the next pending chunk no earlier than the
+// pacing allows, or completes the rebuild.
+func (a *Array) scheduleNextChunk(st *rebuildState) {
+	if st.cancelled {
+		return
+	}
+	if st.next >= len(st.pending) {
+		a.finishRebuild(st)
+		return
+	}
+	c := st.pending[st.next]
+	st.next++
+	now := a.sim.Now()
+	at := st.nextAt
+	if at < now {
+		at = now
+	}
+	st.nextAt = at + a.rebuildInterval(c)
+	if at > now {
+		a.sim.At(at, func() { a.startChunk(st, c) })
+		return
+	}
+	a.startChunk(st, c)
+}
+
+// startChunk serializes the chunk's reconstruction against foreground
+// writes via the per-chunk write gate, then kicks off the source read.
+func (a *Array) startChunk(st *rebuildState, c int64) {
+	if st.cancelled {
+		return
+	}
+	if waiting, gated := a.writeGate[c]; gated {
+		a.writeGate[c] = append(waiting, func() {
+			// Fired by releaseWriteGate: in delayed mode this continuation
+			// now owns the gate and must release it if the rebuild died
+			// while it waited.
+			if st.cancelled {
+				if _, still := a.writeGate[c]; still {
+					a.releaseWriteGate(c)
+				}
+				return
+			}
+			st.activeChunk, st.gateHeld = c, true
+			a.reconstructChunk(st, c)
+		})
+		return
+	}
+	a.writeGate[c] = nil
+	st.activeChunk, st.gateHeld = c, true
+	a.reconstructChunk(st, c)
+}
+
+// reconstructChunk resolves the chunk's layout and reads it from a
+// surviving mirror.
+func (a *Array) reconstructChunk(st *rebuildState, c int64) {
+	unit := int64(a.lay.StripeUnit())
+	off := c * unit
+	count := unit
+	if rest := a.lay.DataSectors() - off; rest < count {
+		count = rest
+	}
+	pieces, err := a.lay.Resolve(off, int(count))
+	if err != nil || len(pieces) != 1 {
+		panic(fmt.Sprintf("core: rebuild chunk %d resolved to %d pieces: %v", c, len(pieces), err))
+	}
+	a.readForRebuild(st, c, &pieces[0])
+}
+
+// readForRebuild issues a background read of the chunk on the
+// lowest-numbered surviving mirror with a fresh copy. A source that fails
+// or faults out mid-read re-enters here and the next survivor takes over;
+// with no survivor the chunk is lost.
+func (a *Array) readForRebuild(st *rebuildState, c int64, p *layout.Piece) {
+	var src *drive
+	for _, id := range p.Mirrors {
+		if id == st.slot {
+			continue
+		}
+		d := a.drives[id]
+		if d.failed || d.unreadable(c) {
+			continue
+		}
+		if m := a.freshMask(d, c); m != nil && !anyTrue(m) {
+			continue
+		}
+		src = d
+		break
+	}
+	if src == nil {
+		a.chunkLost(st, c)
+		return
+	}
+	req := &sched.Request{
+		ID:         a.nextID(),
+		Arrive:     a.sim.Now(),
+		Background: true,
+		Replicas:   replicasOf(p),
+		// Live mask: a propagation completing while this read queues can
+		// change which replicas are fresh.
+		AllowedFn: func(j int) bool {
+			m := a.freshMask(src, c)
+			return m == nil || m[j]
+		},
+	}
+	req.Tag = &reqTag{
+		onDone: func(bus.Completion, int) {
+			if st.cancelled {
+				return
+			}
+			a.writeRebuildCopies(st, c, p)
+		},
+		onFail: func() {
+			if st.cancelled {
+				return
+			}
+			a.readForRebuild(st, c, p)
+		},
+	}
+	a.enqueue(src, req)
+}
+
+// writeRebuildCopies queues the chunk's Dr replica writes onto the spare
+// through the delayed-write machinery; the shared entry's completion
+// finishes the chunk.
+func (a *Array) writeRebuildCopies(st *rebuildState, c int64, p *layout.Piece) {
+	spare := a.drives[st.slot]
+	entry := &propEntry{onAllDone: func() {
+		if st.cancelled {
+			return
+		}
+		a.finishChunk(st, c)
+	}}
+	for j := 0; j < a.opts.Config.Dr; j++ {
+		spare.delayed = append(spare.delayed, &delayedCopy{
+			entry: entry, replica: j, extents: p.Replicas[j],
+			chunk: c, off: p.Off, count: p.Count, rebuild: true,
+		})
+		entry.remaining++
+	}
+	a.kick(spare)
+}
+
+// finishChunk marks the chunk readable on the spare, releases its write
+// gate (flushing writes that queued during reconstruction), and advances
+// the pump.
+func (a *Array) finishChunk(st *rebuildState, c int64) {
+	spare := a.drives[st.slot]
+	delete(spare.missing, c)
+	st.done++
+	st.activeChunk, st.gateHeld = -1, false
+	a.releaseWriteGate(c)
+	a.scheduleNextChunk(st)
+}
+
+// chunkLost records a chunk with no surviving source: permanently gone.
+func (a *Array) chunkLost(st *rebuildState, c int64) {
+	st.lost++
+	a.faults.LostChunks++
+	a.lostChunks[c] = true
+	st.activeChunk, st.gateHeld = -1, false
+	a.releaseWriteGate(c)
+	a.scheduleNextChunk(st)
+}
+
+// finishRebuild retires the state and starts the next rebuild if another
+// slot failed while this one ran.
+func (a *Array) finishRebuild(st *rebuildState) {
+	a.rebuild = nil
+	a.faults.RebuildsDone++
+	spare := a.drives[st.slot]
+	if len(spare.missing) == 0 {
+		spare.missing = nil
+	}
+	a.maybeStartRebuild()
+}

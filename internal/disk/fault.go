@@ -1,0 +1,123 @@
+package disk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/des"
+)
+
+// FaultKind classifies an injected per-command fault.
+type FaultKind int
+
+const (
+	// FaultNone is a clean completion.
+	FaultNone FaultKind = iota
+	// FaultTransient is a transient or latent-sector error: the mechanism
+	// positions and transfers normally, but the command reports a medium
+	// error (an uncorrectable ECC event). A retry of the same command
+	// redraws the fault and usually succeeds — the dominant real-world
+	// drive error mode.
+	FaultTransient
+	// FaultTimeout is a command that dies inside the drive: no mechanical
+	// service is observed and the host learns of the loss only when its
+	// command timer expires. The arm does not move.
+	FaultTimeout
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTransient:
+		return "transient"
+	case FaultTimeout:
+		return "timeout"
+	default:
+		return "none"
+	}
+}
+
+// DefaultFaultTimeout is the host command-timer expiry used when a
+// FaultModel does not set one: SCSI drivers of the prototype's era waited
+// a quarter second to a few seconds before giving up on a command.
+const DefaultFaultTimeout = 250 * des.Millisecond
+
+// FaultModel parameterizes per-drive fault injection. Rates are per-command
+// probabilities; they are deliberately enormous compared to real media
+// error rates (~1e-8 per bit read) so that minutes of simulated time
+// exercise the retry and failover machinery that years of real operation
+// would.
+type FaultModel struct {
+	// TransientRate is the per-command probability of a transient medium
+	// error (FaultTransient).
+	TransientRate float64
+	// TimeoutRate is the per-command probability of a command timeout
+	// (FaultTimeout).
+	TimeoutRate float64
+	// TimeoutDelay is how long the host waits before declaring a command
+	// dead; 0 means DefaultFaultTimeout.
+	TimeoutDelay des.Time
+}
+
+// Enabled reports whether the model can ever produce a fault.
+func (m FaultModel) Enabled() bool { return m.TransientRate > 0 || m.TimeoutRate > 0 }
+
+// Validate rejects rates outside [0, 0.5] (individually) or summing to
+// 0.9+. The bound guarantees that retry-until-success terminates quickly:
+// the array retries a faulted command in-drive and then fails over, and
+// both paths redraw the fault.
+func (m FaultModel) Validate() error {
+	if m.TransientRate < 0 || m.TransientRate > 0.5 {
+		return fmt.Errorf("disk: transient fault rate %v outside [0, 0.5]", m.TransientRate)
+	}
+	if m.TimeoutRate < 0 || m.TimeoutRate > 0.5 {
+		return fmt.Errorf("disk: timeout fault rate %v outside [0, 0.5]", m.TimeoutRate)
+	}
+	if m.TransientRate+m.TimeoutRate >= 0.9 {
+		return fmt.Errorf("disk: combined fault rate %v too close to certainty", m.TransientRate+m.TimeoutRate)
+	}
+	if m.TimeoutDelay < 0 {
+		return fmt.Errorf("disk: negative fault timeout %v", m.TimeoutDelay)
+	}
+	return nil
+}
+
+// Timeout returns the configured or default command-timer expiry.
+func (m FaultModel) Timeout() des.Time {
+	if m.TimeoutDelay > 0 {
+		return m.TimeoutDelay
+	}
+	return DefaultFaultTimeout
+}
+
+// FaultInjector draws faults for one drive from its own seeded stream, so
+// fault sequences are reproducible and independent of every other source
+// of randomness in a run (spindle phases, noise, workloads).
+type FaultInjector struct {
+	model FaultModel
+	rng   *rand.Rand
+}
+
+// NewFaultInjector builds an injector for a validated model. A nil return
+// means the model injects nothing (callers skip the draw entirely).
+func NewFaultInjector(m FaultModel, seed int64) *FaultInjector {
+	if !m.Enabled() {
+		return nil
+	}
+	return &FaultInjector{model: m, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Model returns the injector's configuration.
+func (fi *FaultInjector) Model() FaultModel { return fi.model }
+
+// Draw decides the fate of one command: exactly one uniform variate per
+// command, deterministic in command order.
+func (fi *FaultInjector) Draw() FaultKind {
+	f := fi.rng.Float64()
+	if f < fi.model.TimeoutRate {
+		return FaultTimeout
+	}
+	if f < fi.model.TimeoutRate+fi.model.TransientRate {
+		return FaultTransient
+	}
+	return FaultNone
+}

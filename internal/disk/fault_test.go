@@ -1,0 +1,71 @@
+package disk
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestFaultModelValidate(t *testing.T) {
+	good := []FaultModel{
+		{},
+		{TransientRate: 0.01},
+		{TimeoutRate: 0.001, TimeoutDelay: des.Second},
+		{TransientRate: 0.4, TimeoutRate: 0.4},
+	}
+	for _, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", m, err)
+		}
+	}
+	bad := []FaultModel{
+		{TransientRate: -0.1},
+		{TransientRate: 0.6},
+		{TimeoutRate: 0.7},
+		{TransientRate: 0.5, TimeoutRate: 0.45},
+		{TimeoutDelay: -1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v accepted", m)
+		}
+	}
+}
+
+func TestFaultInjectorDeterministicAndCalibrated(t *testing.T) {
+	m := FaultModel{TransientRate: 0.2, TimeoutRate: 0.05}
+	draw := func(seed int64, n int) (seq []FaultKind, transients, timeouts int) {
+		fi := NewFaultInjector(m, seed)
+		for i := 0; i < n; i++ {
+			k := fi.Draw()
+			seq = append(seq, k)
+			switch k {
+			case FaultTransient:
+				transients++
+			case FaultTimeout:
+				timeouts++
+			}
+		}
+		return
+	}
+	const n = 20000
+	a, tr, to := draw(7, n)
+	b, _, _ := draw(7, n)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically seeded injectors", i)
+		}
+	}
+	if got := float64(tr) / n; got < 0.17 || got > 0.23 {
+		t.Errorf("transient rate %.3f, want ~0.2", got)
+	}
+	if got := float64(to) / n; got < 0.035 || got > 0.065 {
+		t.Errorf("timeout rate %.3f, want ~0.05", got)
+	}
+}
+
+func TestFaultInjectorNilWhenDisabled(t *testing.T) {
+	if fi := NewFaultInjector(FaultModel{}, 1); fi != nil {
+		t.Fatal("disabled model built an injector")
+	}
+}

@@ -32,6 +32,13 @@ func TestParallelMatchesSequential(t *testing.T) {
 			}
 			return f.Render(), nil
 		}},
+		{"degraded-rebuild", func() (string, error) {
+			f, err := DegradedRebuild(cfg)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
 	}
 	for _, c := range cases {
 		c := c

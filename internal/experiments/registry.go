@@ -57,6 +57,7 @@ var Registry = map[string]Runner{
 	"ablation-coalesce":      figRunner(AblationCoalesce),
 	"ablation-mirror":        figRunner(AblationMirrorSched),
 	"ablation-opportunistic": figRunner(AblationOpportunistic),
+	"degraded-rebuild":       figRunner(DegradedRebuild),
 }
 
 func figRunner(f func(Config) (*Figure, error)) Runner {

@@ -54,6 +54,12 @@ type Request struct {
 	// Priority requests (head-tracking reference reads) preempt the scan
 	// order.
 	Priority bool
+	// Background requests (rebuild reconstruction reads) yield to
+	// foreground traffic: while a schedulable foreground request is
+	// pending, a background request sits out the decision until it has
+	// waited BackgroundMaxWait, after which it competes normally so
+	// rebuild cannot starve under sustained load.
+	Background bool
 	// Tag carries array-layer bookkeeping through the scheduler untouched.
 	Tag interface{}
 }
@@ -129,6 +135,43 @@ func priorityPick(queue []*Request) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// BackgroundMaxWait bounds how long a background request defers to
+// foreground traffic. Within the window a background request is invisible
+// whenever foreground work is pending; once it has waited this long it
+// competes like any other request. 50 ms keeps rebuild reads off the
+// critical path of bursty foreground traffic while guaranteeing rebuild
+// progress at least every few revolutions under saturation.
+const BackgroundMaxWait = 50 * des.Millisecond
+
+// foregroundPending reports whether any schedulable non-background request
+// is waiting. Only when one is does background deferral apply — an
+// otherwise idle drive serves background work immediately.
+func foregroundPending(queue []*Request) bool {
+	for _, r := range queue {
+		if !r.Background && schedulable(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyBackground is the cheap pre-check that keeps the common (no
+// background work) Pick path at a single flag scan.
+func anyBackground(queue []*Request) bool {
+	for _, r := range queue {
+		if r.Background {
+			return true
+		}
+	}
+	return false
+}
+
+// deferBG reports whether request r sits out this decision: background,
+// foreground pending, and still within the deferral window.
+func deferBG(now des.Time, r *Request, fg bool) bool {
+	return fg && r.Background && now-r.Arrive < BackgroundMaxWait
 }
 
 // schedulable reports whether any replica of the request may currently be
@@ -213,8 +256,9 @@ func (f fcfs) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Acc
 	if i, ok := priorityPick(queue); ok {
 		idx = i
 	} else {
+		fg := anyBackground(queue) && foregroundPending(queue)
 		for i, r := range queue {
-			if !schedulable(r) {
+			if !schedulable(r) || deferBG(now, r, fg) {
 				continue
 			}
 			if idx < 0 || r.Arrive < queue[idx].Arrive {
@@ -243,9 +287,10 @@ func (sstf) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Acces
 		rep, t := bestReplica(now, arm, queue[i], est, false)
 		return Choice{Index: i, Replica: rep, Predicted: t}, true
 	}
+	fg := anyBackground(queue) && foregroundPending(queue)
 	bestIdx, bestDist := -1, math.MaxInt64
 	for i, r := range queue {
-		if !schedulable(r) {
+		if !schedulable(r) || deferBG(now, r, fg) {
 			continue
 		}
 		d := absCyl(r.Replicas[0].first().Start.Cyl - arm.Cyl)
@@ -312,8 +357,9 @@ func (l *look) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Ac
 		l.schedBuf = make([]bool, len(queue))
 	}
 	l.schedBuf = l.schedBuf[:len(queue)]
+	fg := anyBackground(queue) && foregroundPending(queue)
 	for i, r := range queue {
-		l.schedBuf[i] = schedulable(r)
+		l.schedBuf[i] = schedulable(r) && !deferBG(now, r, fg)
 	}
 	idx := l.scan(arm, queue)
 	if idx < 0 {
@@ -422,10 +468,14 @@ func (s *satf) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Ac
 		rep, t := bestReplica(now, arm, queue[i], est, s.rotational)
 		return Choice{Index: i, Replica: rep, Predicted: t}, true
 	}
+	fg := anyBackground(queue) && foregroundPending(queue)
 	bestIdx, bestRep := -1, 0
 	bestT := des.Time(math.Inf(1))
 	bestScore := math.Inf(1)
 	for i, r := range queue {
+		if deferBG(now, r, fg) {
+			continue
+		}
 		rep, t, ok := bestAllowedReplica(now, arm, r, est, s.rotational)
 		if !ok {
 			continue

@@ -284,6 +284,53 @@ func TestAgedSATFBoundsWaiting(t *testing.T) {
 	}
 }
 
+func TestBackgroundDefersToForeground(t *testing.T) {
+	_, e := est(t)
+	for _, name := range []string{"fcfs", "sstf", "look", "clook", "satf", "rsatf"} {
+		s, _ := New(name)
+		// Background request is older AND closer — every policy would
+		// normally prefer it — but a schedulable foreground request is
+		// pending, so the background one must sit out.
+		bg := reqAt(1, 1000, 0)
+		bg.Background = true
+		fgReq := reqAt(2, 4000, 100)
+		q := []*Request{bg, fgReq}
+		c, ok := s.Pick(200, disk.State{Cyl: 1000}, q, e)
+		if !ok || q[c.Index].ID != 2 {
+			t.Errorf("%s: background request beat pending foreground work", name)
+		}
+	}
+}
+
+func TestBackgroundServedWhenAlone(t *testing.T) {
+	_, e := est(t)
+	for _, name := range []string{"fcfs", "sstf", "look", "satf"} {
+		s, _ := New(name)
+		bg := reqAt(1, 1000, 0)
+		bg.Background = true
+		c, ok := s.Pick(100, disk.State{Cyl: 1000}, []*Request{bg}, e)
+		if !ok || c.Index != 0 {
+			t.Errorf("%s: lone background request not served", name)
+		}
+	}
+}
+
+func TestBackgroundAgesPastMaxWait(t *testing.T) {
+	_, e := est(t)
+	s, _ := New("fcfs")
+	bg := reqAt(1, 1000, 0)
+	bg.Background = true
+	fgReq := reqAt(2, 4000, 100)
+	q := []*Request{bg, fgReq}
+	// Past the deferral window the background request competes normally,
+	// and under FCFS its earlier arrival wins.
+	now := des.Time(BackgroundMaxWait) + 1
+	c, ok := s.Pick(now, disk.State{Cyl: 1000}, q, e)
+	if !ok || q[c.Index].ID != 1 {
+		t.Fatal("overdue background request still starved")
+	}
+}
+
 func TestAgedNames(t *testing.T) {
 	for _, name := range []string{"asatf", "rasatf"} {
 		s, err := New(name)

@@ -30,6 +30,14 @@ import (
 // Time is a simulated duration or timestamp in microseconds.
 type Time = des.Time
 
+// Common durations in simulated Time units.
+const (
+	Microsecond = des.Microsecond
+	Millisecond = des.Millisecond
+	Second      = des.Second
+	Hour        = des.Hour
+)
+
 // Sim is the discrete-event simulation kernel every simulated component
 // shares.
 type Sim = des.Sim
@@ -63,6 +71,40 @@ type Array struct {
 
 // Result reports one completed request.
 type Result = core.Result
+
+// FaultModel configures per-drive transient-error and command-timeout
+// injection (Options.Faults); the zero value disables injection entirely.
+type FaultModel = disk.FaultModel
+
+// FaultCounters tallies observed faults, retries, failovers, failed
+// requests, and rebuild activity; read it with Array.Faults.
+type FaultCounters = core.FaultCounters
+
+// DriveStatus classifies one drive slot's health, from Array.DriveState.
+type DriveStatus = core.DriveStatus
+
+// Drive health states.
+const (
+	DriveHealthy    = core.DriveHealthy
+	DriveRebuilding = core.DriveRebuilding
+	DriveDegraded   = core.DriveDegraded
+	DriveFailed     = core.DriveFailed
+)
+
+// RebuildProgress snapshots an active hot-spare reconstruction, from
+// Array.RebuildProgress.
+type RebuildProgress = core.RebuildProgress
+
+// Typed failure causes carried by Result.Err; test with errors.Is.
+var (
+	// ErrDriveIndex reports a drive index outside the array.
+	ErrDriveIndex = core.ErrDriveIndex
+	// ErrDataLost reports a request touching chunks with no surviving
+	// copy.
+	ErrDataLost = core.ErrDataLost
+	// ErrNoFreshReplica reports a read finding every replica stale.
+	ErrNoFreshReplica = core.ErrNoFreshReplica
+)
 
 // DiskSpec describes a drive model in datasheet terms.
 type DiskSpec = disk.Spec

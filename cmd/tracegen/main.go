@@ -10,6 +10,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -19,13 +21,22 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "cello-base", "cello-base | cello-disk6 | tpcc")
-		duration = flag.Duration("duration", 0, "trace duration (overrides -ios)")
-		ios      = flag.Int("ios", 10000, "approximate I/O count (used when -duration is 0)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		stats    = flag.Bool("stats", false, "print Table-3 statistics to stderr")
+		workload  = flag.String("workload", "cello-base", "cello-base | cello-disk6 | tpcc")
+		duration  = flag.Duration("duration", 0, "trace duration (overrides -ios)")
+		ios       = flag.Int("ios", 10000, "approximate I/O count (used when -duration is 0)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		stats     = flag.Bool("stats", false, "print Table-3 statistics to stderr")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
 
 	var p tracegen.Params
 	switch *workload {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/disk"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -111,6 +112,17 @@ type Options struct {
 	// foreground latency stays bounded; 0 means 8 MB/s.
 	RebuildMBps float64
 
+	// Obs, when non-nil, attaches the array to an observability registry:
+	// per-drive latency histograms, scheduler decision counters, fault and
+	// rebuild accounting, and (when the registry enables tracing)
+	// per-request trace rings. Nil keeps every hot path untouched — the
+	// recording calls are guarded by a single pointer check and the
+	// disabled cost is zero allocations.
+	Obs *obs.Registry
+	// ObsLabel names this array's recorder in the registry; empty derives
+	// "config/policy/seedN" from the options.
+	ObsLabel string
+
 	// Ablation knobs (all default to the paper's design).
 	//
 	// FixedSlack pins the rotational slack to a constant k instead of the
@@ -160,6 +172,11 @@ type Array struct {
 
 	faults    FaultCounters
 	breakdown Breakdown
+
+	// obsRec is the array's observability recorder; nil when Options.Obs
+	// was not set (the common case — hot paths check the per-drive rec
+	// pointer instead of this).
+	obsRec *obs.Recorder
 }
 
 // Breakdown decomposes foreground service time into its mechanical
@@ -204,6 +221,11 @@ type drive struct {
 	stale   map[int64]*chunkState // chunk -> pending-propagation state
 
 	refInFlight bool
+	// rec is this drive's observability slot, keyed by physical creation
+	// index — stable even when a spare's id is reassigned to the failed
+	// slot it replaces. Nil (metrics disabled) short-circuits every
+	// recording site with one pointer check.
+	rec *obs.DriveMetrics
 	// failed marks a fail-stopped drive: it finishes its in-flight command
 	// and then accepts no further work.
 	failed bool
@@ -355,6 +377,23 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 		}
 		a.spares = append(a.spares, d)
 	}
+	if opts.Obs != nil {
+		label := opts.ObsLabel
+		if label == "" {
+			label = fmt.Sprintf("%s/%s/seed%d", opts.Config, opts.Policy, opts.Seed)
+		}
+		a.obsRec = opts.Obs.NewRecorder(label, len(a.drives)+len(a.spares))
+		attach := func(d *drive, slot int) {
+			d.rec = a.obsRec.Drive(slot)
+			d.sched = sched.Observe(d.sched, d.rec)
+		}
+		for i, d := range a.drives {
+			attach(d, i)
+		}
+		for k, d := range a.spares {
+			attach(d, len(a.drives)+k)
+		}
+	}
 	if opts.Prototype {
 		for _, d := range a.drives {
 			d.trk.Bootstrap(sim, d.bus)
@@ -367,6 +406,10 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 	}
 	return a, nil
 }
+
+// Obs returns the array's observability recorder, nil unless Options.Obs
+// attached one.
+func (a *Array) Obs() *obs.Recorder { return a.obsRec }
 
 // Layout exposes the array's data placement.
 func (a *Array) Layout() *layout.Layout { return a.lay }

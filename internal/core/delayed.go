@@ -10,6 +10,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/disk"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -292,6 +293,9 @@ func (a *Array) registerPropagation(p *layout.Piece, first *drive, chosen int) {
 	}
 	if entry.remaining > 0 {
 		a.nvramUsed++
+		if a.obsRec != nil {
+			a.obsRec.NVRAM.Set(int64(a.nvramUsed))
+		}
 	}
 	if a.nvramUsed >= a.nvramCap {
 		a.forceDelayed(a.nvramCap / 10)
@@ -325,6 +329,9 @@ func (a *Array) copyEntryDone(e *propEntry) {
 	if e.remaining == 0 {
 		if e.tracked {
 			a.nvramUsed--
+			if a.obsRec != nil {
+				a.obsRec.NVRAM.Set(int64(a.nvramUsed))
+			}
 		}
 		if e.onAllDone != nil {
 			e.onAllDone()
@@ -352,7 +359,21 @@ func (a *Array) dispatchDelayed(d *drive) {
 	c := d.delayed[bestI]
 	d.delayed = append(d.delayed[:bestI], d.delayed[bestI+1:]...)
 	req := &sched.Request{ID: a.nextID(), Write: true, Arrive: a.sim.Now()}
-	a.runExtents(d, req, c.extents, func(_ bus.Completion, clean bool) {
+	start := a.sim.Now()
+	a.runExtents(d, req, c.extents, func(last bus.Completion, clean bool, retries int) {
+		if d.rec != nil {
+			// Propagation bypasses the foreground queue, so its queue delay
+			// is definitionally zero (Arrive == Start at dispatch).
+			rec := obs.Dispatch{
+				Req: req.ID, Class: obs.Delayed, Op: obs.OpWrite,
+				Arrive: start, Start: start, Retries: retries, Rebuild: c.rebuild,
+			}
+			if clean {
+				d.rec.Done(rec, last.Timing, last.Observed)
+			} else {
+				d.rec.FaultedRun(rec, last.Fault, last.Observed)
+			}
+		}
 		switch {
 		case clean:
 			a.finishCopy(d, c)

@@ -8,8 +8,29 @@ import (
 	"repro/internal/des"
 	"repro/internal/disk"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
+
+// classOf maps a request to its observability class.
+func classOf(req *sched.Request) obs.Class {
+	switch {
+	case req.Priority:
+		return obs.Priority
+	case req.Background:
+		return obs.Background
+	default:
+		return obs.Foreground
+	}
+}
+
+// opOf maps a request to its observability op.
+func opOf(req *sched.Request) obs.Op {
+	if req.Write {
+		return obs.OpWrite
+	}
+	return obs.OpRead
+}
 
 // reqTag is the array-layer bookkeeping riding on each sched.Request.
 type reqTag struct {
@@ -158,7 +179,7 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 	a.Dispatches++
 	extents := req.Replicas[choice.Replica].Extents
 	start := a.sim.Now()
-	a.runExtents(d, req, extents, func(last bus.Completion, clean bool) {
+	a.runExtents(d, req, extents, func(last bus.Completion, clean bool, retries int) {
 		d.lastActive = a.sim.Now()
 		if !clean {
 			// The in-drive retry also faulted (or the drive fail-stopped):
@@ -166,9 +187,23 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 			// — for reads and first-copy writes that resubmits against the
 			// surviving mirrors.
 			a.faults.Failovers++
+			if d.rec != nil {
+				d.rec.FaultedRun(obs.Dispatch{
+					Req: req.ID, Class: classOf(req), Op: opOf(req),
+					Arrive: req.Arrive, Start: start, Retries: retries,
+					Failover: true, Rebuild: req.Background,
+				}, last.Fault, last.Observed)
+			}
 			tag.fail()
 			a.kick(d)
 			return
+		}
+		if d.rec != nil {
+			d.rec.Done(obs.Dispatch{
+				Req: req.ID, Class: classOf(req), Op: opOf(req),
+				Arrive: req.Arrive, Start: start, Retries: retries,
+				Rebuild: req.Background,
+			}, last.Timing, last.Observed)
 		}
 		a.account(d, req, choice, extents, start, last)
 		if !req.Priority && !req.Background {
@@ -186,16 +221,18 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 }
 
 // runExtents submits a replica's extents back-to-back and calls done with
-// the final completion. A faulted command is retried once in-drive (the
-// SCSI-driver policy: one immediate reissue before escalating); a second
-// fault on the same extent abandons the run with clean=false and the
-// caller's failure path takes over. Timing of a faulted run must not feed
-// calibration or breakdown accounting.
-func (a *Array) runExtents(d *drive, req *sched.Request, extents []disk.Extent, done func(last bus.Completion, clean bool)) {
+// the final completion, whether the run stayed clean, and how many
+// in-drive retries it needed. A faulted command is retried once in-drive
+// (the SCSI-driver policy: one immediate reissue before escalating); a
+// second fault on the same extent abandons the run with clean=false and
+// the caller's failure path takes over. Timing of a faulted run must not
+// feed calibration, breakdown, or histogram accounting.
+func (a *Array) runExtents(d *drive, req *sched.Request, extents []disk.Extent, done func(last bus.Completion, clean bool, retries int)) {
 	op := bus.OpRead
 	if req.Write {
 		op = bus.OpWrite
 	}
+	retries := 0
 	var run func(i int, retried bool)
 	run = func(i int, retried bool) {
 		e := extents[i]
@@ -205,20 +242,24 @@ func (a *Array) runExtents(d *drive, req *sched.Request, extents []disk.Extent, 
 		}
 		d.bus.Submit(bus.Command{Op: op, LBA: lba, Count: e.Count}, func(comp bus.Completion) {
 			if !comp.OK() {
-				a.noteFault(comp.Fault)
+				a.noteFault(d, comp.Fault)
 				if !retried && !d.failed {
 					a.faults.Retries++
+					retries++
+					if d.rec != nil {
+						d.rec.Retry()
+					}
 					run(i, true)
 					return
 				}
-				done(comp, false)
+				done(comp, false, retries)
 				return
 			}
 			if i+1 < len(extents) {
 				run(i+1, false)
 				return
 			}
-			done(comp, true)
+			done(comp, true, retries)
 		})
 	}
 	run(0, false)

@@ -33,12 +33,16 @@ type FaultCounters struct {
 // Faults returns a snapshot of the degraded-mode counters.
 func (a *Array) Faults() FaultCounters { return a.faults }
 
-// noteFault tallies an injected fault surfaced by the bus.
-func (a *Array) noteFault(k disk.FaultKind) {
+// noteFault tallies an injected fault surfaced by the bus, both globally
+// and on the drive that produced it.
+func (a *Array) noteFault(d *drive, k disk.FaultKind) {
 	switch k {
 	case disk.FaultTransient:
 		a.faults.Transients++
 	case disk.FaultTimeout:
 		a.faults.Timeouts++
+	}
+	if d.rec != nil {
+		d.rec.Fault(k)
 	}
 }

@@ -353,6 +353,9 @@ func (a *Array) finishChunk(st *rebuildState, c int64) {
 	spare := a.drives[st.slot]
 	delete(spare.missing, c)
 	st.done++
+	if a.obsRec != nil {
+		a.obsRec.RebuildChunkDone()
+	}
 	st.activeChunk, st.gateHeld = -1, false
 	a.releaseWriteGate(c)
 	a.scheduleNextChunk(st)
@@ -363,6 +366,9 @@ func (a *Array) chunkLost(st *rebuildState, c int64) {
 	st.lost++
 	a.faults.LostChunks++
 	a.lostChunks[c] = true
+	if a.obsRec != nil {
+		a.obsRec.RebuildChunkLost()
+	}
 	st.activeChunk, st.gateHeld = -1, false
 	a.releaseWriteGate(c)
 	a.scheduleNextChunk(st)

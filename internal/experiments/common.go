@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -16,11 +17,20 @@ import (
 	"repro/internal/disk"
 	"repro/internal/layout"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 	"repro/internal/workload"
 )
+
+// Observe, when non-nil, attaches every array any experiment builds to
+// this observability registry (per-drive histograms, fault counters,
+// optional request traces). cmd/mimdraid sets it for -metrics-out /
+// -trace-out runs; tests set it to audit a run. Set it before running an
+// experiment — the jobs read it from worker goroutines.
+var Observe *obs.Registry
 
 // Config scales the experiments. Defaults reproduce shapes in seconds of
 // wall time; raise the knobs to approach the paper's full trace lengths.
@@ -74,6 +84,18 @@ type Figure struct {
 	XLabel string
 	YLabel string
 	Series []Series
+	// Metrics carries named scalar side-channels of the run (counter
+	// totals, rates) that the text table does not show; they appear only
+	// in the JSON rendering.
+	Metrics map[string]float64
+}
+
+// Metric records a named scalar in the figure's metrics map.
+func (f *Figure) Metric(name string, v float64) {
+	if f.Metrics == nil {
+		f.Metrics = map[string]float64{}
+	}
+	f.Metrics[name] = v
 }
 
 // At returns series label's Y at x (NaN if absent) — used by tests.
@@ -156,6 +178,45 @@ func (f *Figure) CSV() string {
 	return b.String()
 }
 
+// figureJSON is the machine-readable rendering of a Figure.
+type figureJSON struct {
+	Figure  string             `json:"figure"`
+	Title   string             `json:"title,omitempty"`
+	XLabel  string             `json:"x,omitempty"`
+	YLabel  string             `json:"y,omitempty"`
+	Series  []seriesJSON       `json:"series"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type seriesJSON struct {
+	Label  string       `json:"label"`
+	Points [][2]float64 `json:"points"`
+}
+
+// JSON renders the figure as an indented `{figure, series, points,
+// metrics}` document. Series keep their insertion order, points their
+// sweep order, and map keys marshal sorted, so the bytes are a pure
+// function of the figure's contents — appendable to BENCH_*.json and
+// byte-stable across parallel runs.
+func (f *Figure) JSON() (string, error) {
+	out := figureJSON{
+		Figure: f.Name, Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel,
+		Series: make([]seriesJSON, 0, len(f.Series)), Metrics: f.Metrics,
+	}
+	for _, s := range f.Series {
+		sj := seriesJSON{Label: s.Label, Points: make([][2]float64, 0, len(s.Points))}
+		for _, p := range s.Points {
+			sj.Points = append(sj.Points, [2]float64{p.X, p.Y})
+		}
+		out.Series = append(out.Series, sj)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
 func trimFloat(v float64) string {
 	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
 		return fmt.Sprintf("%d", int64(v))
@@ -186,18 +247,30 @@ var refDisk = disk.ST39133LWV().MustNew()
 // array.
 var refGeomSectors = refDisk.Geom.TotalSectors()
 
-// buildArray constructs an array on a fresh simulator.
+// buildArray constructs an array on a fresh simulator, attached to the
+// Observe registry when one is installed.
 func buildArray(cfg layout.Config, policy string, dataSectors int64, seed int64, mod func(*core.Options)) (*des.Sim, *core.Array, error) {
 	sim := des.New()
 	o := core.Options{Config: cfg, Policy: policy, DataSectors: dataSectors, Seed: seed}
 	if mod != nil {
 		mod(&o)
 	}
+	if Observe != nil {
+		o.Obs = Observe
+	}
 	a, err := core.New(sim, o)
 	if err != nil {
 		return nil, nil, err
 	}
 	return sim, a, nil
+}
+
+// measuredRate converts completions inside the warmup-trimmed window of
+// [start, end] into I/Os per second. All experiment rate reporting goes
+// through stats.TrimWarmup so a mis-built window cannot inflate a rate.
+func measuredRate(completed int, start, end, warmup des.Time) float64 {
+	ws, we := stats.TrimWarmup(start, end, warmup)
+	return stats.Throughput(completed, we-ws)
 }
 
 // policyFor returns the paper's scheduler pairing: RSATF on replicated

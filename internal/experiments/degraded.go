@@ -70,6 +70,9 @@ func DegradedRebuild(c Config) (*Figure, error) {
 			r := res[ci*len(scenarios)+si]
 			lat.Add(sc.x, float64(r.mean)/float64(des.Millisecond))
 			lost.Add(sc.x, 100*float64(r.lost)/float64(r.lost+r.served))
+			fig.Metric(fmt.Sprintf("served/%s/%s", cc.label, sc.name), float64(r.served))
+			fig.Metric(fmt.Sprintf("lost/%s/%s", cc.label, sc.name), float64(r.lost))
+			fig.Metric(fmt.Sprintf("iops/%s/%s", cc.label, sc.name), r.iops)
 		}
 		fig.Series = append(fig.Series, lat, lost)
 	}
@@ -81,7 +84,13 @@ type degradedRes struct {
 	mean   des.Time
 	served int
 	lost   int
+	// iops is the warmup-trimmed completion rate.
+	iops float64
 }
+
+// degradedWarmup excludes the loop's cold start (empty queues, idle arms)
+// from the reported rate.
+const degradedWarmup = 50 * des.Millisecond
 
 // degradedVolume keeps the rebuild short enough for the registry smoke
 // test while leaving hundreds of chunks per drive to reconstruct.
@@ -98,6 +107,7 @@ const degradedRebuildMBps = 20
 // finish so the simulation retires cleanly.
 func runDegraded(cfg layout.Config, fail, spare bool, ios int, seed int64) (degradedRes, error) {
 	sim, a, err := buildArray(cfg, policyFor(cfg), degradedVolume, seed, func(o *coreOptions) {
+		o.ObsLabel = fmt.Sprintf("degraded-rebuild/%s/fail=%t/spare=%t", cfg, fail, spare)
 		if spare {
 			o.Spares = 1
 			o.RebuildMBps = degradedRebuildMBps
@@ -117,7 +127,10 @@ func runDegraded(cfg layout.Config, fail, spare bool, ios int, seed int64) (degr
 	rng := rand.New(rand.NewSource(seed + 101))
 	var res degradedRes
 	var total des.Time
+	start := sim.Now()
+	measureFrom := start + degradedWarmup
 	finished := 0
+	measured := 0
 	var issue func()
 	issued := 0
 	issue = func() {
@@ -128,6 +141,9 @@ func runDegraded(cfg layout.Config, fail, spare bool, ios int, seed int64) (degr
 		off := rng.Int63n(a.DataSectors() - sectors)
 		if err := a.Submit(core.Read, off, sectors, false, func(r coreResult) {
 			finished++
+			if r.Done >= measureFrom {
+				measured++
+			}
 			if r.Failed {
 				res.lost++
 			} else {
@@ -150,6 +166,7 @@ func runDegraded(cfg layout.Config, fail, spare bool, ios int, seed int64) (degr
 	if res.served > 0 {
 		res.mean = total / des.Time(res.served)
 	}
+	res.iops = measuredRate(measured, start, sim.Now(), degradedWarmup)
 	if !a.Drain(des.Hour) {
 		return degradedRes{}, fmt.Errorf("experiments: degraded run failed to drain")
 	}

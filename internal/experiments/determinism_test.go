@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
+	"reflect"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/tracegen"
 )
@@ -68,5 +72,107 @@ func TestParallelMatchesSequential(t *testing.T) {
 				t.Fatal("second (trace-cached) run differs from the first")
 			}
 		})
+	}
+}
+
+// TestObservabilityDeterministicAcrossParallelism extends the runner
+// contract to the observability layer: the metrics snapshot, the JSONL
+// trace export, and the JSON figure rendering must be byte-identical
+// whether the degraded-rebuild jobs ran on one worker or eight, and the
+// JSON figure must round-trip through encoding/json.
+func TestObservabilityDeterministicAcrossParallelism(t *testing.T) {
+	cfg := Config{TraceIOs: 600, IometerIOs: 300, Seed: 1}
+	run := func(par int) (snap []byte, traces string, figJSON string) {
+		prev := runner.SetParallelism(par)
+		defer runner.SetParallelism(prev)
+		reg := &obs.Registry{TraceCap: 256}
+		Observe = reg
+		defer func() { Observe = nil }()
+		fig, err := DegradedRebuild(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err = reg.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.WriteTraceJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		figJSON, err = fig.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap, buf.String(), figJSON
+	}
+	seqSnap, seqTrace, seqJSON := run(1)
+	parSnap, parTrace, parJSON := run(8)
+	if !bytes.Equal(seqSnap, parSnap) {
+		t.Errorf("metrics snapshot differs between sequential and parallel runs")
+	}
+	if seqTrace != parTrace {
+		t.Errorf("JSONL trace differs between sequential and parallel runs")
+	}
+	if seqJSON != parJSON {
+		t.Errorf("figure JSON differs between sequential and parallel runs")
+	}
+	if len(seqTrace) == 0 {
+		t.Error("trace export is empty; tracing did not engage")
+	}
+	// Round-trip: the figure JSON must parse and re-marshal to the same
+	// semantic content.
+	var doc map[string]interface{}
+	if err := json.Unmarshal([]byte(seqJSON), &doc); err != nil {
+		t.Fatalf("figure JSON does not parse: %v", err)
+	}
+	if doc["figure"] != "degraded-rebuild" {
+		t.Fatalf("figure name %v", doc["figure"])
+	}
+	metrics, ok := doc["metrics"].(map[string]interface{})
+	if !ok || len(metrics) == 0 {
+		t.Fatal("figure JSON carries no metrics")
+	}
+	if _, ok := metrics["iops/SR-Array 2x3x1/healthy"]; !ok {
+		t.Fatalf("expected iops metric missing; have %d keys", len(metrics))
+	}
+	reencoded, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc2 map[string]interface{}
+	if err := json.Unmarshal(reencoded, &doc2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc, doc2) {
+		t.Fatal("figure JSON does not round-trip through encoding/json")
+	}
+	// The snapshot parses as JSON too.
+	var snapDoc map[string]interface{}
+	if err := json.Unmarshal(seqSnap, &snapDoc); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+}
+
+// TestJSONFormatRunners: every registered experiment name renders valid
+// JSON in json format (figures as documents, tables wrapped as text).
+func TestJSONFormatRunners(t *testing.T) {
+	prevFormat := Format
+	Format = "json"
+	defer func() { Format = prevFormat }()
+	// A fast config: this test checks rendering, not physics.
+	cfg := Config{TraceIOs: 200, IometerIOs: 120, Seed: 1}
+	for _, name := range []string{"degraded-rebuild", "table1", "section2.5"} {
+		out, err := Run(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var doc map[string]interface{}
+		if err := json.Unmarshal([]byte(out), &doc); err != nil {
+			t.Fatalf("%s: json format produced invalid JSON: %v", name, err)
+		}
+		if fig, _ := doc["figure"].(string); fig == "" {
+			t.Fatalf("%s: figure field missing in %q", name, out)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 )
@@ -8,27 +9,28 @@ import (
 // Runner executes one named experiment and returns its rendered text.
 type Runner func(Config) (string, error)
 
-// Format selects the rendering used by figRunner.
-var Format = "table" // "table" or "csv"
+// Format selects the rendering used by figRunner: "table", "csv", or
+// "json" (the machine-readable `{figure, series, points, metrics}` form).
+var Format = "table"
 
 // Registry maps experiment names (as used by `mimdraid -exp`) to runners.
 var Registry = map[string]Runner{
-	"table1": func(Config) (string, error) { return Table1().String(), nil },
-	"table2": func(c Config) (string, error) {
+	"table1": textRunner("table1", func(Config) (string, error) { return Table1().String(), nil }),
+	"table2": textRunner("table2", func(c Config) (string, error) {
 		r, err := Table2(c)
 		if err != nil {
 			return "", err
 		}
 		return r.String(), nil
-	},
-	"table3": func(c Config) (string, error) { return Table3(c).String(), nil },
-	"summary": func(c Config) (string, error) {
+	}),
+	"table3": textRunner("table3", func(c Config) (string, error) { return Table3(c).String(), nil }),
+	"summary": textRunner("summary", func(c Config) (string, error) {
 		r, err := Summary(c)
 		if err != nil {
 			return "", err
 		}
 		return r.String(), nil
-	},
+	}),
 	"fig5":             figRunner(func(c Config) (*Figure, error) { return Figure5(c) }),
 	"fig6-cello-base":  figRunner(func(c Config) (*Figure, error) { return Figure6(c, "cello-base") }),
 	"fig6-cello-disk6": figRunner(func(c Config) (*Figure, error) { return Figure6(c, "cello-disk6") }),
@@ -43,9 +45,9 @@ var Registry = map[string]Runner{
 	"fig11-tpcc":       figRunner(func(c Config) (*Figure, error) { return Figure11(c, "tpcc") }),
 	"fig12":            figRunner(Figure12),
 	"fig13":            figRunner(Figure13),
-	"ablation-placement": func(c Config) (string, error) {
-		return AblationReplicaPlacement(c).Render(), nil
-	},
+	"ablation-placement": figRunner(func(c Config) (*Figure, error) {
+		return AblationReplicaPlacement(c), nil
+	}),
 	"ablation-slack":         figRunner(AblationSlack),
 	"ablation-intratrack":    figRunner(AblationIntraTrack),
 	"section2.5":             figRunner(Section25),
@@ -66,10 +68,34 @@ func figRunner(f func(Config) (*Figure, error)) Runner {
 		if err != nil {
 			return "", err
 		}
-		if Format == "csv" {
+		switch Format {
+		case "csv":
 			return fig.CSV(), nil
+		case "json":
+			return fig.JSON()
+		default:
+			return fig.Render(), nil
 		}
-		return fig.Render(), nil
+	}
+}
+
+// textRunner adapts a table-shaped experiment (no Figure) to the json
+// format: the rendered text rides in a `{figure, text}` document so a
+// machine consumer still gets one JSON value per experiment.
+func textRunner(name string, f Runner) Runner {
+	return func(c Config) (string, error) {
+		out, err := f(c)
+		if err != nil || Format != "json" {
+			return out, err
+		}
+		b, err := json.MarshalIndent(struct {
+			Figure string `json:"figure"`
+			Text   string `json:"text"`
+		}{name, out}, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		return string(b) + "\n", nil
 	}
 }
 

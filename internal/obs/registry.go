@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry is the process-wide hub recorders hang off. The zero value is
+// ready to use. It is safe for concurrent use: the parallel experiment
+// runner creates arrays (and hence recorders) from many worker goroutines
+// at once, but each recorder is then written by exactly one goroutine, so
+// the registry's lock covers only creation and export.
+type Registry struct {
+	// TraceCap, when positive, enables per-drive trace rings of that many
+	// records each. Zero disables tracing (metrics only).
+	TraceCap int
+
+	mu   sync.Mutex
+	recs []*Recorder
+}
+
+// NewRecorder creates and registers a recorder for one array with the
+// given number of drive slots (spares included).
+func (g *Registry) NewRecorder(label string, drives int) *Recorder {
+	r := &Recorder{label: label, drives: make([]DriveMetrics, drives)}
+	for i := range r.drives {
+		r.drives[i].drive = i
+		if g.TraceCap > 0 {
+			r.drives[i].trace = newRing(g.TraceCap)
+		}
+	}
+	g.mu.Lock()
+	g.recs = append(g.recs, r)
+	g.mu.Unlock()
+	return r
+}
+
+// Recorders returns the registered recorders (creation order; not
+// deterministic under a parallel runner — exports sort).
+func (g *Registry) Recorders() []*Recorder {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Recorder(nil), g.recs...)
+}
+
+// snapshot structures: the JSON shape of Snapshot.
+
+type histJSON struct {
+	Count   int64   `json:"count"`
+	SumUS   int64   `json:"sum_us"`
+	MeanUS  float64 `json:"mean_us"`
+	Buckets []int64 `json:"buckets,omitempty"` // trailing zeros trimmed
+}
+
+func histOut(h *Hist) *histJSON {
+	if h.Count == 0 {
+		return nil
+	}
+	last := 0
+	for i, b := range h.Buckets {
+		if b != 0 {
+			last = i + 1
+		}
+	}
+	return &histJSON{
+		Count:   h.Count,
+		SumUS:   h.SumUS,
+		MeanUS:  h.MeanUS(),
+		Buckets: append([]int64(nil), h.Buckets[:last]...),
+	}
+}
+
+type gaugeJSON struct {
+	Max     int64   `json:"max"`
+	Mean    float64 `json:"mean"`
+	Samples int64   `json:"samples"`
+}
+
+func gaugeOut(g *Gauge) *gaugeJSON {
+	if g.Samples == 0 {
+		return nil
+	}
+	return &gaugeJSON{Max: g.Max, Mean: float64(g.Sum) / float64(g.Samples), Samples: g.Samples}
+}
+
+type classOpJSON struct {
+	Class   string    `json:"class"`
+	Op      string    `json:"op"`
+	Service *histJSON `json:"service,omitempty"`
+	Wait    *histJSON `json:"wait,omitempty"`
+}
+
+type driveJSON struct {
+	Drive       int           `json:"drive"`
+	Dispatches  int64         `json:"dispatches"`
+	Faulted     int64         `json:"faulted,omitempty"`
+	Failovers   int64         `json:"failovers,omitempty"`
+	Retries     int64         `json:"retries,omitempty"`
+	Transients  int64         `json:"transients,omitempty"`
+	Timeouts    int64         `json:"timeouts,omitempty"`
+	Picks       int64         `json:"picks,omitempty"`
+	PredictedUS int64         `json:"predicted_us,omitempty"`
+	QueueDepth  *gaugeJSON    `json:"queue_depth,omitempty"`
+	Hists       []classOpJSON `json:"hists,omitempty"`
+	Dropped     int64         `json:"trace_dropped,omitempty"`
+}
+
+type recorderJSON struct {
+	Label      string      `json:"label"`
+	ChunksDone int64       `json:"rebuild_chunks_done,omitempty"`
+	ChunksLost int64       `json:"rebuild_chunks_lost,omitempty"`
+	NVRAM      *gaugeJSON  `json:"nvram,omitempty"`
+	Drives     []driveJSON `json:"drives"`
+}
+
+// Snapshot exports every recorder's metrics as indented JSON. Recorders
+// sharing a label (the same logical experiment point run again, or across
+// parallel workers) are merged by summing their integer counters, and the
+// output is sorted by label, then drive, then class, then op — so the
+// bytes are identical whatever order the runs executed in.
+func (g *Registry) Snapshot() ([]byte, error) {
+	g.mu.Lock()
+	recs := append([]*Recorder(nil), g.recs...)
+	g.mu.Unlock()
+
+	byLabel := map[string]*Recorder{}
+	for _, r := range recs {
+		m, ok := byLabel[r.label]
+		if !ok {
+			m = &Recorder{label: r.label}
+			byLabel[r.label] = m
+		}
+		m.merge(r)
+	}
+	labels := make([]string, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	out := make([]recorderJSON, 0, len(labels))
+	for _, l := range labels {
+		r := byLabel[l]
+		rj := recorderJSON{
+			Label:      l,
+			ChunksDone: r.ChunksDone,
+			ChunksLost: r.ChunksLost,
+			NVRAM:      gaugeOut(&r.NVRAM),
+		}
+		for i := range r.drives {
+			d := &r.drives[i]
+			dj := driveJSON{
+				Drive:       i,
+				Dispatches:  d.Dispatches,
+				Faulted:     d.Faulted,
+				Failovers:   d.Failovers,
+				Retries:     d.Retries,
+				Transients:  d.Transients,
+				Timeouts:    d.Timeouts,
+				Picks:       d.Picks,
+				PredictedUS: d.PredictedUS,
+				QueueDepth:  gaugeOut(&d.QueueDepth),
+			}
+			for c := 0; c < int(NumClasses); c++ {
+				for op := 0; op < int(NumOps); op++ {
+					s := histOut(&d.Service[c][op])
+					w := histOut(&d.Wait[c][op])
+					if s == nil && w == nil {
+						continue
+					}
+					dj.Hists = append(dj.Hists, classOpJSON{
+						Class: Class(c).String(), Op: Op(op).String(), Service: s, Wait: w,
+					})
+				}
+			}
+			if d.trace != nil {
+				dj.Dropped = d.trace.dropped
+			}
+			rj.Drives = append(rj.Drives, dj)
+		}
+		out = append(out, rj)
+	}
+	return json.MarshalIndent(struct {
+		Recorders []recorderJSON `json:"recorders"`
+	}{out}, "", "  ")
+}
+
+// WriteTraceJSONL writes every live trace record as one JSON line,
+// labelled with its recorder. Lines are sorted lexicographically by their
+// full serialized content, which makes the output deterministic under a
+// parallel runner: the same set of records is emitted whatever order the
+// recorders were registered in, and identical records tie harmlessly.
+func (g *Registry) WriteTraceJSONL(w io.Writer) error {
+	g.mu.Lock()
+	recs := append([]*Recorder(nil), g.recs...)
+	g.mu.Unlock()
+
+	var lines []string
+	for _, r := range recs {
+		for i := range r.drives {
+			ring := r.drives[i].trace
+			if ring == nil {
+				continue
+			}
+			for _, t := range ring.records() {
+				t.Label = r.label
+				b, err := json.Marshal(t)
+				if err != nil {
+					return fmt.Errorf("obs: marshal trace record: %w", err)
+				}
+				lines = append(lines, string(b))
+			}
+		}
+	}
+	sort.Strings(lines)
+	bw := bufio.NewWriter(w)
+	for _, l := range lines {
+		bw.WriteString(l)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

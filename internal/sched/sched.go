@@ -490,3 +490,30 @@ func (s *satf) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Ac
 	}
 	return Choice{Index: bestIdx, Replica: bestRep, Predicted: bestT}, true
 }
+
+// PickObserver receives every successful scheduling decision of a wrapped
+// scheduler. Implementations must be cheap and allocation-free: they run
+// on the dispatch hot path.
+type PickObserver interface {
+	ObservePick(queueLen int, c Choice, ok bool)
+}
+
+// Observe wraps a scheduler so that every Pick is reported to o. The
+// wrapper forwards Name and Pick unchanged, so wrapping never perturbs
+// scheduling decisions — only watches them.
+func Observe(s Scheduler, o PickObserver) Scheduler {
+	return observed{inner: s, obs: o}
+}
+
+type observed struct {
+	inner Scheduler
+	obs   PickObserver
+}
+
+func (w observed) Name() string { return w.inner.Name() }
+
+func (w observed) Pick(now des.Time, arm disk.State, queue []*Request, est calib.AccessEstimator) (Choice, bool) {
+	c, ok := w.inner.Pick(now, arm, queue, est)
+	w.obs.ObservePick(len(queue), c, ok)
+	return c, ok
+}

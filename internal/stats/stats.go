@@ -12,16 +12,27 @@ import (
 )
 
 // Collector accumulates samples (typically response times in
-// microseconds).
+// microseconds). Mean and Std are maintained online (Welford), so they
+// are O(1) at read time and never trigger a sort; order statistics
+// (Percentile, Max, Min) share one lazily-built sorted copy of the
+// samples, leaving the insertion-order sample slice untouched.
 type Collector struct {
-	vals   []float64
-	sorted bool
+	vals []float64
+	// sorted is the cached sorted view, built on first demand and
+	// invalidated by Add; it is always a copy, never c.vals itself.
+	sorted []float64
+	// Welford running state: mean and sum of squared deviations.
+	mean float64
+	m2   float64
 }
 
 // Add records one sample.
 func (c *Collector) Add(v des.Time) {
 	c.vals = append(c.vals, float64(v))
-	c.sorted = false
+	c.sorted = nil
+	d := float64(v) - c.mean
+	c.mean += d / float64(len(c.vals))
+	c.m2 += d * (float64(v) - c.mean)
 }
 
 // N returns the sample count.
@@ -29,49 +40,43 @@ func (c *Collector) N() int { return len(c.vals) }
 
 // Mean returns the sample mean.
 func (c *Collector) Mean() des.Time {
-	if len(c.vals) == 0 {
-		return 0
-	}
-	var s float64
-	for _, v := range c.vals {
-		s += v
-	}
-	return des.Time(s / float64(len(c.vals)))
+	return des.Time(c.mean)
 }
 
 // Std returns the population standard deviation.
 func (c *Collector) Std() des.Time {
-	n := len(c.vals)
-	if n == 0 {
-		return 0
-	}
-	m := float64(c.Mean())
-	var s float64
-	for _, v := range c.vals {
-		d := v - m
-		s += d * d
-	}
-	return des.Time(math.Sqrt(s / float64(n)))
-}
-
-// Percentile returns the p-th percentile (0 < p <= 100) by
-// nearest-rank.
-func (c *Collector) Percentile(p float64) des.Time {
 	if len(c.vals) == 0 {
 		return 0
 	}
-	if !c.sorted {
-		sort.Float64s(c.vals)
-		c.sorted = true
+	return des.Time(math.Sqrt(c.m2 / float64(len(c.vals))))
+}
+
+// sortedView returns the shared sorted copy of the samples, building it
+// if an Add invalidated the cache.
+func (c *Collector) sortedView() []float64 {
+	if c.sorted == nil {
+		c.sorted = append([]float64(nil), c.vals...)
+		sort.Float64s(c.sorted)
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(c.vals))))
+	return c.sorted
+}
+
+// Percentile returns the p-th percentile by nearest-rank. p must satisfy
+// 0 < p <= 100; anything else (including NaN) is a caller bug and panics
+// rather than being silently clamped to a valid rank.
+func (c *Collector) Percentile(p float64) des.Time {
+	if math.IsNaN(p) || p <= 0 || p > 100 {
+		panic(fmt.Sprintf("stats: Percentile(%v) outside (0, 100]", p))
+	}
+	if len(c.vals) == 0 {
+		return 0
+	}
+	s := c.sortedView()
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
 	if rank < 1 {
-		rank = 1
+		rank = 1 // p so small the ceil underflows to 0
 	}
-	if rank > len(c.vals) {
-		rank = len(c.vals)
-	}
-	return des.Time(c.vals[rank-1])
+	return des.Time(s[rank-1])
 }
 
 // Max returns the largest sample.
@@ -79,8 +84,8 @@ func (c *Collector) Max() des.Time {
 	if len(c.vals) == 0 {
 		return 0
 	}
-	if c.sorted {
-		return des.Time(c.vals[len(c.vals)-1])
+	if c.sorted != nil {
+		return des.Time(c.sorted[len(c.sorted)-1])
 	}
 	best := c.vals[0]
 	for _, v := range c.vals[1:] {
@@ -96,8 +101,8 @@ func (c *Collector) Min() des.Time {
 	if len(c.vals) == 0 {
 		return 0
 	}
-	if c.sorted {
-		return des.Time(c.vals[0])
+	if c.sorted != nil {
+		return des.Time(c.sorted[0])
 	}
 	best := c.vals[0]
 	for _, v := range c.vals[1:] {
@@ -108,7 +113,8 @@ func (c *Collector) Min() des.Time {
 	return des.Time(best)
 }
 
-// Summary is a one-line description of the distribution.
+// Summary is a one-line description of the distribution. One sort serves
+// all three percentiles and the max.
 func (c *Collector) Summary() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
 		c.N(), c.Mean(), c.Percentile(50), c.Percentile(95), c.Percentile(99), c.Max())
@@ -121,4 +127,27 @@ func Throughput(completed int, elapsed des.Time) float64 {
 		return 0
 	}
 	return float64(completed) / elapsed.Seconds()
+}
+
+// TrimWarmup is the one place measurement windows are derived: it clips
+// the first warmup of [start, end] and returns the interval completions
+// should be counted over. Every caller that excludes warmup — the
+// iometer's closed loop, the degraded-rebuild experiment — must go
+// through here, so a window can never start before the run or extend past
+// its end. A warmup longer than the run collapses the window to [end,
+// end], which Throughput then reports as rate 0 rather than a negative or
+// inflated figure. Negative warmup and end < start are caller bugs and
+// panic.
+func TrimWarmup(start, end, warmup des.Time) (des.Time, des.Time) {
+	if warmup < 0 {
+		panic(fmt.Sprintf("stats: negative warmup %v", warmup))
+	}
+	if end < start {
+		panic(fmt.Sprintf("stats: TrimWarmup window ends (%v) before it starts (%v)", end, start))
+	}
+	ws := start + warmup
+	if ws > end {
+		ws = end
+	}
+	return ws, end
 }

@@ -82,3 +82,111 @@ func TestThroughput(t *testing.T) {
 		t.Fatalf("Throughput with zero elapsed = %v", got)
 	}
 }
+
+// TestAddOrderSurvivesSummary is the regression test for the in-place
+// Percentile sort: order statistics must work on a copy, leaving the
+// caller-visible insertion order intact.
+func TestAddOrderSurvivesSummary(t *testing.T) {
+	in := []des.Time{50, 10, 40, 20, 30}
+	var c Collector
+	for _, v := range in {
+		c.Add(v)
+	}
+	_ = c.Summary()
+	for i, v := range in {
+		if c.vals[i] != float64(v) {
+			t.Fatalf("Summary() reordered samples: vals[%d] = %v, want %v", i, c.vals[i], v)
+		}
+	}
+	if got := c.Percentile(50); got != 30 {
+		t.Fatalf("P50 after Summary = %v", got)
+	}
+}
+
+func TestPercentileRejectsInvalid(t *testing.T) {
+	var c Collector
+	c.Add(1)
+	for _, p := range []float64{0, -5, 100.001, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) did not panic", p)
+				}
+			}()
+			c.Percentile(p)
+		}()
+	}
+}
+
+// TestWelfordMatchesTwoPass checks the online mean/variance against the
+// naive two-pass computation.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c Collector
+		var vals []float64
+		for i := 0; i < 200; i++ {
+			v := rng.Float64()*1e6 - 5e5
+			c.Add(des.Time(v))
+			vals = append(vals, v)
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		mean := sum / float64(len(vals))
+		var m2 float64
+		for _, v := range vals {
+			m2 += (v - mean) * (v - mean)
+		}
+		std := math.Sqrt(m2 / float64(len(vals)))
+		return math.Abs(float64(c.Mean())-mean) < 1e-6 && math.Abs(float64(c.Std())-std) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimWarmup(t *testing.T) {
+	ms := des.Millisecond
+	cases := []struct {
+		name               string
+		start, end, warmup des.Time
+		wantStart, wantEnd des.Time
+	}{
+		{"zero warmup", 10 * ms, 100 * ms, 0, 10 * ms, 100 * ms},
+		{"normal trim", 10 * ms, 100 * ms, 30 * ms, 40 * ms, 100 * ms},
+		{"warmup to edge", 10 * ms, 100 * ms, 90 * ms, 100 * ms, 100 * ms},
+		{"warmup past end clamps", 10 * ms, 100 * ms, 200 * ms, 100 * ms, 100 * ms},
+		{"empty window", 50 * ms, 50 * ms, 10 * ms, 50 * ms, 50 * ms},
+		{"nonzero origin", des.Hour, des.Hour + 100*ms, 40 * ms, des.Hour + 40*ms, des.Hour + 100*ms},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ws, we := TrimWarmup(tc.start, tc.end, tc.warmup)
+			if ws != tc.wantStart || we != tc.wantEnd {
+				t.Fatalf("TrimWarmup(%v, %v, %v) = (%v, %v), want (%v, %v)",
+					tc.start, tc.end, tc.warmup, ws, we, tc.wantStart, tc.wantEnd)
+			}
+			if r := Throughput(0, we-ws); r != 0 {
+				t.Fatalf("zero completions gave rate %v", r)
+			}
+		})
+	}
+	for _, bad := range []struct {
+		name               string
+		start, end, warmup des.Time
+	}{
+		{"negative warmup", 0, 100, -1},
+		{"inverted window", 100, 50, 0},
+	} {
+		t.Run(bad.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			TrimWarmup(bad.start, bad.end, bad.warmup)
+		})
+	}
+}

@@ -26,14 +26,21 @@ type Iometer struct {
 	// use 3); 1 = uniform random.
 	Locality float64
 	Seed     int64
+	// Warmup excludes the run's first Warmup of simulated time from the
+	// reported latency and IOPS (completions before the trimmed window
+	// still count toward Completed). Zero measures the whole run.
+	Warmup des.Time
 }
 
 // Result aggregates a run.
 type Result struct {
 	Completed int
-	Elapsed   des.Time
-	IOPS      float64
-	Latency   stats.Collector
+	// Measured counts the completions inside the post-warmup window; it
+	// equals Completed when Warmup is zero.
+	Measured int
+	Elapsed  des.Time
+	IOPS     float64
+	Latency  stats.Collector
 }
 
 // Run issues `total` requests and returns throughput and latency results.
@@ -73,8 +80,10 @@ func (w Iometer) Run(sim *des.Sim, a *core.Array, total int) (*Result, error) {
 	}
 
 	start := sim.Now()
+	measureFrom := start + w.Warmup
 	issued := 0
 	finished := 0
+	measured := 0
 	errs := []error{}
 	var issue func()
 	issue = func() {
@@ -87,7 +96,10 @@ func (w Iometer) Run(sim *des.Sim, a *core.Array, total int) (*Result, error) {
 			op = core.Write
 		}
 		if err := a.Submit(op, nextOff(), w.Sectors, false, func(r core.Result) {
-			res.Latency.Add(r.Latency())
+			if r.Done >= measureFrom {
+				res.Latency.Add(r.Latency())
+				measured++
+			}
 			finished++
 			issue()
 		}); err != nil {
@@ -107,8 +119,10 @@ func (w Iometer) Run(sim *des.Sim, a *core.Array, total int) (*Result, error) {
 		return nil, errs[0]
 	}
 	res.Completed = finished
+	res.Measured = measured
 	res.Elapsed = sim.Now() - start
-	res.IOPS = stats.Throughput(finished, res.Elapsed)
+	ws, we := stats.TrimWarmup(start, sim.Now(), w.Warmup)
+	res.IOPS = stats.Throughput(measured, we-ws)
 	return res, nil
 }
 

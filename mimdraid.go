@@ -25,6 +25,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/layout"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Time is a simulated duration or timestamp in microseconds.
@@ -63,6 +64,17 @@ var (
 
 // Options configures an Array; see core.Options for field documentation.
 type Options = core.Options
+
+// MetricsRegistry is an observability hub: set Options.Obs to one to
+// collect per-drive latency histograms, scheduler and fault counters, and
+// (with TraceCap > 0) per-request traces from every array attached to it.
+// Registry.Snapshot() exports deterministic JSON; WriteTraceJSONL exports
+// the traces.
+type MetricsRegistry = obs.Registry
+
+// MetricsRecorder is one array's slice of a MetricsRegistry, from
+// Array.Obs().
+type MetricsRecorder = obs.Recorder
 
 // Array is a configured MimdRAID logical disk.
 type Array struct {

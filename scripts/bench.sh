@@ -6,8 +6,48 @@
 #
 # BENCH filters the benchmark set (default: all), BENCHTIME sets
 # -benchtime (default 1x: one full pass per experiment).
+#
+#   scripts/bench.sh guard
+#
+# Guard mode is the disabled-metrics overhead gate: it runs the DES and
+# scheduler hot-path benchmarks (which build arrays with no obs.Registry
+# attached) and fails if any reports a nonzero allocs/op — the observability
+# layer must stay free when disabled. Set BASELINE=<file> to also fail if
+# DESPushPop ns/op regresses more than 25% against a previous run's stream.
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "guard" ]; then
+    out=$(go test -run '^$' -bench 'BenchmarkDESPushPop|BenchmarkSchedPick' \
+        -benchtime "${BENCHTIME:-10000x}" -benchmem ./internal/des/ ./internal/sched/)
+    echo "$out"
+    # Benchmark lines: name iters ns/op B/op allocs/op. Any nonzero
+    # allocs/op on these hot paths means the nil-recorder guard broke.
+    # containerheap is the stdlib comparison baseline, allocating by design.
+    echo "$out" | tr '\t' ' ' | awk '
+        /containerheap/ { next }
+        /allocs\/op/ {
+            for (i = 1; i <= NF; i++) if ($(i+1) == "allocs/op" && $i+0 != 0) {
+                print "FAIL: " $1 " allocates (" $i " allocs/op) with metrics disabled"
+                bad = 1
+            }
+        }
+        END { exit bad }'
+    if [ -n "${BASELINE:-}" ]; then
+        now=$(echo "$out" | tr '\t' ' ' | awk '/BenchmarkDESPushPop/ { for (i=1;i<=NF;i++) if ($(i+1)=="ns/op") print $i }' | head -1)
+        old=$(tr '\t' ' ' <"$BASELINE" | grep -o 'BenchmarkDESPushPop[^"]*ns/op' | head -1 |
+            awk '{ for (i=1;i<=NF;i++) if ($(i+1)=="ns/op") print $i }')
+        if [ -n "$now" ] && [ -n "$old" ]; then
+            awk -v n="$now" -v o="$old" 'BEGIN {
+                if (n > o * 1.25) { printf "FAIL: DESPushPop %.1f ns/op vs baseline %.1f (+%.0f%%)\n", n, o, (n/o-1)*100; exit 1 }
+                printf "DESPushPop %.1f ns/op vs baseline %.1f ns/op: ok\n", n, o
+            }'
+        fi
+    fi
+    echo "guard: hot paths allocation-free with metrics disabled"
+    exit 0
+fi
+
 out="BENCH_$(date +%Y%m%d).json"
 go test -json -run '^$' -bench "${BENCH:-.}" -benchtime "${BENCHTIME:-1x}" -benchmem ./... >"$out"
 grep -c '"Action":"output"' "$out" >/dev/null # sanity: stream is non-empty

@@ -61,6 +61,14 @@ type Completion struct {
 	// whether to retry, fail over to another copy, or give up.
 	Fault disk.FaultKind
 
+	// SlowBy is the extra service time a fail-slow drive added to this
+	// command (zero on healthy drives); Stutter reports that a stutter
+	// window — rather than only the drive's persistent inflation —
+	// contributed. Upper layers use these to attribute tail latency to the
+	// drive rather than to queueing.
+	SlowBy  des.Time
+	Stutter bool
+
 	// Ground truth, for validation only in prototype mode.
 	MechStart des.Time // when the mechanism began positioning
 	MechDone  des.Time // when the last sector left the media
@@ -140,6 +148,9 @@ type Drive struct {
 	// faults injects per-command transient errors and timeouts; nil (the
 	// default) means the drive never misbehaves.
 	faults *disk.FaultInjector
+	// slow inflates mechanical service times (fail-slow drive); nil (the
+	// default) means the drive runs at full speed.
+	slow *disk.SlowState
 
 	// Tagged command queueing.
 	tcqDepth int
@@ -206,6 +217,13 @@ func (d *Drive) Busy() bool { return d.busy }
 // SetFaults attaches a fault injector (nil disables injection). Attach
 // before submitting commands so the draw sequence is reproducible.
 func (d *Drive) SetFaults(fi *disk.FaultInjector) { d.faults = fi }
+
+// SetSlow attaches a fail-slow state (nil keeps the drive at full speed).
+// Attach before submitting commands so the stutter stream is reproducible.
+func (d *Drive) SetSlow(s *disk.SlowState) { d.slow = s }
+
+// Slow returns the drive's fail-slow state, nil when healthy.
+func (d *Drive) Slow() *disk.SlowState { return d.slow }
 
 // EnableTCQ turns on tagged command queueing with the given depth.
 func (d *Drive) EnableTCQ(depth int) {
@@ -329,12 +347,21 @@ func (d *Drive) start(cmd Command, done func(Completion)) {
 	if err != nil {
 		panic(fmt.Sprintf("bus: %s: %v", d.Name, err))
 	}
-	observed := tm.Done + xfer + post
+	// A fail-slow drive stretches the mechanical service (internal retries,
+	// re-reads, firmware stalls); the host sees only the later completion.
+	var slowBy des.Time
+	var stutter bool
+	if d.slow != nil {
+		slowBy, stutter = d.slow.Inflate(mechStart, tm.Done-mechStart)
+	}
+	observed := tm.Done + slowBy + xfer + post
 	comp := Completion{
 		Cmd:       cmd,
 		Submitted: now,
 		Observed:  observed,
 		Fault:     fault, // FaultNone or FaultTransient (full service, bad transfer)
+		SlowBy:    slowBy,
+		Stutter:   stutter,
 		MechStart: mechStart,
 		MechDone:  tm.Done,
 		Timing:    tm,

@@ -99,9 +99,11 @@ type Options struct {
 	RecalibrateEvery des.Time
 
 	// Faults injects per-drive transient errors and command timeouts (see
-	// disk.FaultModel). Each drive draws from its own stream seeded off
-	// Seed, so fault sequences are reproducible and a zero model leaves
-	// existing runs byte-identical.
+	// disk.FaultModel), and assigns fail-slow profiles (persistent
+	// service-time inflation and stutter windows) to individual drives.
+	// Each drive draws from its own stream seeded off Seed, so fault and
+	// slowness sequences are reproducible and a zero model leaves existing
+	// runs byte-identical.
 	Faults disk.FaultModel
 	// Spares adds hot-spare drives beyond Config.Disks(). When a drive of
 	// a mirrored configuration (Dm >= 2) fail-stops, a spare is swapped
@@ -111,6 +113,34 @@ type Options struct {
 	// RebuildMBps caps the reconstruction bandwidth of a rebuild so
 	// foreground latency stays bounded; 0 means 8 MB/s.
 	RebuildMBps float64
+
+	// Health configures the per-drive fail-slow health tracker (EWMA
+	// service latency versus the array median, plus fault counts) with
+	// Healthy -> Suspect -> Evicted states. The zero value disables
+	// tracking entirely.
+	Health HealthOptions
+	// Hedge enables hedged reads: a dispatched foreground read that has
+	// not completed after HedgeAfter is duplicated onto another fresh
+	// mirror, and whichever copy finishes first answers the caller (the
+	// loser is cancelled from its queue or its completion discarded). The
+	// post-dispatch generalization of the mirror duplicate-request
+	// heuristic, aimed at fail-slow drives rather than busy ones.
+	Hedge bool
+	// HedgeAfter is the hedge delay. 0 derives it adaptively from the
+	// observed p99 of foreground read service times (the hedged-request
+	// policy of Dean & Barroso); a fixed positive value pins it.
+	HedgeAfter des.Time
+	// MaxQueueDepth sheds a logical request at Submit with ErrOverload
+	// when every candidate drive of some piece already has at least this
+	// many foreground requests queued. 0 disables admission control.
+	// While any drive's queue is at least half this deep, background work
+	// (delayed propagation, rebuild chunk starts) is throttled.
+	MaxQueueDepth int
+	// ReadDeadline fails a queued read with ErrDeadlineExceeded if it has
+	// not been dispatched within this budget of its submission — load
+	// shedding for callers who would rather retry elsewhere than wait out
+	// a saturated queue. In-flight commands are never aborted. 0 disables.
+	ReadDeadline des.Time
 
 	// Obs, when non-nil, attaches the array to an observability registry:
 	// per-drive latency histograms, scheduler decision counters, fault and
@@ -172,6 +202,16 @@ type Array struct {
 
 	faults    FaultCounters
 	breakdown Breakdown
+	hedges    HedgeCounters
+	sheds     ShedCounters
+
+	// hedgeLat accumulates clean foreground read service times for the
+	// adaptive hedge delay (maintained only when Hedge is on and
+	// HedgeAfter is 0).
+	hedgeLat latHist
+	// healthScratch is reused by the health tracker's median computation
+	// so per-completion evaluation never allocates.
+	healthScratch []float64
 
 	// obsRec is the array's observability recorder; nil when Options.Obs
 	// was not set (the common case — hot paths check the per-drive rec
@@ -238,6 +278,15 @@ type drive struct {
 	lastActive des.Time
 	// recheckAt dedups scheduled idle-gate rechecks.
 	recheckAt des.Time
+
+	// Fail-slow health tracking (see health.go). ewmaUS smooths the
+	// drive's clean foreground service times; healthN counts the samples
+	// behind it; faultCount counts injected faults the drive surfaced;
+	// health is the tracked state. All zero when tracking is disabled.
+	ewmaUS     float64
+	healthN    int64
+	faultCount int64
+	health     HealthState
 }
 
 // New builds the array, its simulated drives, and (in prototype mode)
@@ -268,6 +317,23 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 	}
 	if err := opts.Faults.Validate(); err != nil {
 		return nil, err
+	}
+	for i := range opts.Faults.Slow {
+		if i >= opts.Config.Disks()+opts.Spares {
+			return nil, fmt.Errorf("core: slow profile for drive %d with %d drives", i, opts.Config.Disks()+opts.Spares)
+		}
+	}
+	if err := opts.Health.validate(); err != nil {
+		return nil, err
+	}
+	if opts.HedgeAfter < 0 {
+		return nil, fmt.Errorf("core: negative hedge delay %v", opts.HedgeAfter)
+	}
+	if opts.MaxQueueDepth < 0 {
+		return nil, fmt.Errorf("core: negative max queue depth %d", opts.MaxQueueDepth)
+	}
+	if opts.ReadDeadline < 0 {
+		return nil, fmt.Errorf("core: negative read deadline %v", opts.ReadDeadline)
 	}
 	if opts.Spares < 0 {
 		return nil, fmt.Errorf("core: negative spare count %d", opts.Spares)
@@ -359,6 +425,9 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 		// A distinct stream per drive keeps fault sequences independent of
 		// each other and of every other randomness source.
 		d.bus.SetFaults(disk.NewFaultInjector(opts.Faults, opts.Seed+int64(i)*15485863+3))
+		// Slow streams are seeded separately so enabling stutters never
+		// perturbs which commands draw transient faults.
+		d.bus.SetSlow(disk.NewSlowState(opts.Faults.SlowFor(i), opts.Seed+int64(i)*32452843+11))
 		return d, nil
 	}
 	for i := 0; i < opts.Config.Disks(); i++ {
@@ -458,11 +527,18 @@ func (a *Array) nextID() uint64 {
 }
 
 // Submit issues a logical I/O. done runs at completion time (through the
-// simulator); it may be nil.
+// simulator); it may be nil. With MaxQueueDepth configured, an overloaded
+// array rejects the request synchronously with ErrOverload (done is never
+// invoked) — callers shed load instead of deepening a saturated queue.
 func (a *Array) Submit(op Op, off int64, count int, async bool, done func(Result)) error {
 	pieces, err := a.lay.Resolve(off, count)
 	if err != nil {
 		return err
+	}
+	if a.opts.MaxQueueDepth > 0 {
+		if err := a.admit(op, pieces); err != nil {
+			return err
+		}
 	}
 	if op == Read {
 		pieces = a.mergeReadPieces(pieces)
@@ -643,6 +719,7 @@ func (a *Array) FailDrive(i int) error {
 	d.queue = nil
 	for _, req := range queue {
 		tag := req.Tag.(*reqTag)
+		tag.offQueue = true
 		if tag.ref {
 			d.refInFlight = false
 			continue

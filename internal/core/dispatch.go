@@ -19,6 +19,8 @@ func classOf(req *sched.Request) obs.Class {
 		return obs.Priority
 	case req.Background:
 		return obs.Background
+	case req.Hedged:
+		return obs.Hedge
 	default:
 		return obs.Foreground
 	}
@@ -44,6 +46,15 @@ type reqTag struct {
 	onFail func()
 	// ref marks head-tracking reference reads.
 	ref bool
+	// hc, when non-nil, is the hedge controller of this foreground read:
+	// dispatching the request arms the hedge timer.
+	hc *hedgeCtl
+	// hedgeOf marks this request as the hedge duplicate of a controller
+	// (so dispatching it closes the cancellation window).
+	hedgeOf *hedgeCtl
+	// offQueue records that the request has left its drive queue (by
+	// dispatch or drive failure), so an expired ReadDeadline is a no-op.
+	offQueue bool
 }
 
 // fail invokes the failure path.
@@ -125,6 +136,19 @@ func (a *Array) kick(d *drive) {
 		}
 		return
 	}
+	// While foreground queues are saturated elsewhere in the array,
+	// background propagation steps aside (admission control's other half:
+	// shed new load, and keep what remains off the background's plate). A
+	// recheck timer guarantees the delayed work still drains once the
+	// overload clears even if no completion kicks this drive again.
+	if a.overloaded() {
+		at := now + throttleRecheck
+		if d.recheckAt < at {
+			d.recheckAt = at
+			a.sim.At(at, func() { a.kick(d) })
+		}
+		return
+	}
 	a.dispatchDelayed(d)
 }
 
@@ -165,6 +189,7 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 	req := d.queue[choice.Index]
 	removeFromQueue(d, req)
 	tag := req.Tag.(*reqTag)
+	tag.offQueue = true
 	if g := tag.group; g != nil {
 		if g.claimed {
 			panic("core: dispatching an already-claimed duplicate")
@@ -175,6 +200,12 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 				removeFromQueue(m.d, m.req)
 			}
 		}
+	}
+	if hc := tag.hedgeOf; hc != nil {
+		hc.hedgeReq = nil // on the wire now; past cancellation
+	}
+	if hc := tag.hc; hc != nil {
+		a.armHedge(hc, d)
 	}
 	a.Dispatches++
 	extents := req.Replicas[choice.Replica].Extents
@@ -207,6 +238,14 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 		}
 		a.account(d, req, choice, extents, start, last)
 		if !req.Priority && !req.Background {
+			if a.opts.Health.Enabled {
+				a.observeHealth(d, last.Observed-start)
+			}
+			if a.opts.Hedge && a.opts.HedgeAfter == 0 && !req.Write && !req.Hedged {
+				a.hedgeLat.observe(last.Observed - start)
+			}
+		}
+		if !req.Priority && !req.Background && !req.Hedged {
 			b := &a.breakdown
 			b.N++
 			b.Queue += start - req.Arrive
@@ -241,6 +280,9 @@ func (a *Array) runExtents(d *drive, req *sched.Request, extents []disk.Extent, 
 			panic(fmt.Sprintf("core: layout produced unmappable extent %v: %v", e.Start, err))
 		}
 		d.bus.Submit(bus.Command{Op: op, LBA: lba, Count: e.Count}, func(comp bus.Completion) {
+			if comp.SlowBy > 0 {
+				a.noteSlow(d, comp)
+			}
 			if !comp.OK() {
 				a.noteFault(d, comp.Fault)
 				if !retried && !d.failed {
@@ -333,53 +375,107 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 		}
 		return
 	}
+	// One hedge controller per routed piece: the dispatch of whichever copy
+	// wins the queue race arms the hedge timer (see hedge.go). A failover
+	// resubmission builds a fresh controller.
+	var hc *hedgeCtl
+	if a.opts.Hedge {
+		hc = &hedgeCtl{a: a, ur: ur, p: p}
+	}
 	mkReq := func(c cand, g *dupGroup) *sched.Request {
-		return &sched.Request{
+		req := &sched.Request{
 			ID:              a.nextID(),
 			Arrive:          a.sim.Now(),
 			Replicas:        replicasOf(p),
 			AllowedReplicas: c.mask,
-			Tag: &reqTag{
-				group:  g,
-				onDone: func(bus.Completion, int) { ur.pieceDone() },
-				// A failure with no surviving duplicate retries against
-				// the remaining mirrors (and fails there if none remain).
-				onFail: func() { a.submitRead(ur, p) },
+		}
+		// A copy queued on a Suspect drive is handicapped so a healthy
+		// mirror's scan claims the shared duplicate first (see health.go).
+		if a.suspectDrive(c.d) {
+			req.Penalty = SuspectPenalty
+		}
+		req.Tag = &reqTag{
+			group: g,
+			hc:    hc,
+			onDone: func(bus.Completion, int) {
+				if hc != nil {
+					hc.primaryDone()
+					return
+				}
+				ur.pieceDone()
+			},
+			// A failure with no surviving duplicate retries against
+			// the remaining mirrors (and fails there if none remain).
+			onFail: func() {
+				if hc != nil {
+					hc.primaryFail()
+					return
+				}
+				a.submitRead(ur, p)
 			},
 		}
+		return req
 	}
-	// Idle-disk fast path: send to the idle head closest to a copy.
+	// Idle-disk fast path: send to the idle head closest to a copy,
+	// preferring healthy drives over Suspect ones.
 	var bestIdle *cand
 	var bestT des.Time
+	bestRank := 0
 	for i := range cands {
 		c := &cands[i]
 		if c.d.bus.Busy() || len(c.d.queue) > 0 {
 			continue
 		}
+		rank := 0
+		if a.suspectDrive(c.d) {
+			rank = 1
+		}
 		t := a.bestAccess(c.d, p, c.mask)
-		if bestIdle == nil || t < bestT {
-			bestIdle, bestT = c, t
+		if bestIdle == nil || rank < bestRank || (rank == bestRank && t < bestT) {
+			bestIdle, bestRank, bestT = c, rank, t
 		}
 	}
 	if bestIdle != nil {
-		a.enqueue(bestIdle.d, mkReq(*bestIdle, nil))
+		req := mkReq(*bestIdle, nil)
+		a.enqueue(bestIdle.d, req)
+		if a.opts.ReadDeadline > 0 {
+			a.armDeadline(ur, p, nil, bestIdle.d, req)
+		}
 		return
 	}
 	if len(cands) == 1 {
-		a.enqueue(cands[0].d, mkReq(cands[0], nil))
+		req := mkReq(cands[0], nil)
+		a.enqueue(cands[0].d, req)
+		if a.opts.ReadDeadline > 0 {
+			a.armDeadline(ur, p, nil, cands[0].d, req)
+		}
 		return
 	}
 	if a.opts.DisableDupRequests {
 		// Ablation: statically pick the mirror whose head currently looks
-		// nearest, without the cancel-on-claim machinery.
+		// nearest (healthy drives first), without the cancel-on-claim
+		// machinery.
 		best := 0
+		bestRank := 0
+		if a.suspectDrive(cands[0].d) {
+			bestRank = 1
+		}
 		bestT := a.bestAccess(cands[0].d, p, cands[0].mask)
 		for i := 1; i < len(cands); i++ {
-			if t := a.bestAccess(cands[i].d, p, cands[i].mask); t < bestT {
-				best, bestT = i, t
+			rank := 0
+			if a.suspectDrive(cands[i].d) {
+				rank = 1
+			}
+			t := a.bestAccess(cands[i].d, p, cands[i].mask)
+			if rank < bestRank || (rank == bestRank && t < bestT) {
+				best, bestRank, bestT = i, rank, t
 			}
 		}
-		a.enqueue(cands[best].d, mkReq(cands[best], nil))
+		req := mkReq(cands[best], nil)
+		a.enqueue(cands[best].d, req)
+		if a.opts.ReadDeadline > 0 {
+			a.armDeadline(ur, p, nil, cands[best].d, req)
+		}
 		return
 	}
 	g := &dupGroup{}
@@ -389,6 +485,9 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 	}
 	for _, m := range g.members {
 		m.d.queue = append(m.d.queue, m.req)
+	}
+	if a.opts.ReadDeadline > 0 {
+		a.armDeadline(ur, p, g, nil, nil)
 	}
 	for _, m := range g.members {
 		if g.claimed {

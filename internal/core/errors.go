@@ -17,4 +17,12 @@ var (
 	// a failed read rather than a panic so a long simulation degrades
 	// instead of dying.
 	ErrNoFreshReplica = errors.New("core: no fresh replica available")
+	// ErrOverload reports a request rejected at Submit by admission
+	// control: every drive that could serve some piece already holds
+	// Options.MaxQueueDepth foreground requests.
+	ErrOverload = errors.New("core: array overloaded, request shed")
+	// ErrDeadlineExceeded reports a read piece that waited out
+	// Options.ReadDeadline in a drive queue without being dispatched and
+	// was shed instead.
+	ErrDeadlineExceeded = errors.New("core: read deadline exceeded in queue")
 )

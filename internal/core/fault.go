@@ -28,6 +28,12 @@ type FaultCounters struct {
 	// LostChunks counts chunks a rebuild could not reconstruct from any
 	// surviving replica.
 	LostChunks int64
+	// SlowCommands counts commands inflated by a fail-slow drive, and
+	// Stutters the subset that fell inside a stutter window.
+	SlowCommands int64
+	Stutters     int64
+	// Evictions counts drives the health tracker proactively fail-stopped.
+	Evictions int64
 }
 
 // Faults returns a snapshot of the degraded-mode counters.
@@ -44,5 +50,8 @@ func (a *Array) noteFault(d *drive, k disk.FaultKind) {
 	}
 	if d.rec != nil {
 		d.rec.Fault(k)
+	}
+	if a.opts.Health.Enabled {
+		a.healthFault(d)
 	}
 }

@@ -235,6 +235,13 @@ func (a *Array) startChunk(st *rebuildState, c int64) {
 	if st.cancelled {
 		return
 	}
+	// Rebuild pacing yields to a saturated foreground: chunk starts wait
+	// out the overload (rechecking every throttleRecheck) so reconstruction
+	// bandwidth is spent only when the array has headroom.
+	if a.overloaded() {
+		a.sim.At(a.sim.Now()+throttleRecheck, func() { a.startChunk(st, c) })
+		return
+	}
 	if waiting, gated := a.writeGate[c]; gated {
 		a.writeGate[c] = append(waiting, func() {
 			// Fired by releaseWriteGate: in delayed mode this continuation

@@ -1,0 +1,148 @@
+package disk
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestSlowProfileEnabled(t *testing.T) {
+	cases := []struct {
+		p    SlowProfile
+		want bool
+	}{
+		{SlowProfile{}, false},
+		{SlowProfile{Factor: 1}, false},
+		{SlowProfile{Factor: 4}, true},
+		{SlowProfile{StutterEvery: des.Second, StutterFor: des.Millisecond, StutterFactor: 2}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Enabled(); got != c.want {
+			t.Errorf("%+v Enabled() = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSlowProfileValidate(t *testing.T) {
+	good := []SlowProfile{
+		{},
+		{Factor: 1},
+		{Factor: 10},
+		{Factor: 4, StutterEvery: des.Second, StutterFor: 10 * des.Millisecond, StutterFactor: 8},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", p, err)
+		}
+	}
+	bad := []SlowProfile{
+		{Factor: -1},
+		{Factor: 0.5},
+		{StutterEvery: -des.Second},
+		{StutterEvery: des.Second, StutterFor: -1},
+		{StutterEvery: des.Second},                                    // windows with zero duration
+		{StutterEvery: des.Second, StutterFor: des.Millisecond},       // stutter factor < 1
+		{StutterEvery: des.Second, StutterFor: 1, StutterFactor: 0.5}, // stutter factor < 1
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v accepted", p)
+		}
+	}
+}
+
+func TestFaultModelValidatesSlowProfiles(t *testing.T) {
+	m := FaultModel{Slow: map[int]SlowProfile{2: {Factor: 0.5}}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("invalid per-drive profile accepted")
+	}
+	m = FaultModel{Slow: map[int]SlowProfile{-1: {Factor: 4}}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative drive index accepted")
+	}
+	m = FaultModel{Slow: map[int]SlowProfile{0: {Factor: 4}}}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid slow model rejected: %v", err)
+	}
+	if !m.SlowFor(0).Enabled() || m.SlowFor(1).Enabled() {
+		t.Fatal("SlowFor returned the wrong profile")
+	}
+}
+
+func TestSlowStateNilWhenDisabled(t *testing.T) {
+	if s := NewSlowState(SlowProfile{}, 1); s != nil {
+		t.Fatal("disabled profile built a state")
+	}
+	if s := NewSlowState(SlowProfile{Factor: 1}, 1); s != nil {
+		t.Fatal("factor-1 profile built a state")
+	}
+}
+
+func TestSlowStatePersistentFactor(t *testing.T) {
+	s := NewSlowState(SlowProfile{Factor: 4}, 1)
+	extra, stutter := s.Inflate(0, 10*des.Millisecond)
+	if extra != 30*des.Millisecond {
+		t.Fatalf("extra = %v, want 30ms (factor 4 on 10ms)", extra)
+	}
+	if stutter {
+		t.Fatal("stutter reported without stutter windows")
+	}
+}
+
+func TestSlowStateStutterWindows(t *testing.T) {
+	p := SlowProfile{StutterEvery: 100 * des.Millisecond, StutterFor: 50 * des.Millisecond, StutterFactor: 3}
+	s := NewSlowState(p, 7)
+	// Sweep simulated time; with mean window gaps of 100ms and durations
+	// of 50ms, a second of probing must land both in and out of windows.
+	in, out := 0, 0
+	for now := des.Time(0); now < des.Second; now += des.Millisecond {
+		extra, stutter := s.Inflate(now, des.Millisecond)
+		if stutter {
+			in++
+			if extra != 2*des.Millisecond {
+				t.Fatalf("stutter extra = %v, want 2ms (factor 3 on 1ms)", extra)
+			}
+		} else {
+			out++
+			if extra != 0 {
+				t.Fatalf("extra = %v outside a stutter window", extra)
+			}
+		}
+	}
+	if in == 0 || out == 0 {
+		t.Fatalf("probe never saw both states: in=%d out=%d", in, out)
+	}
+	if s.Stutters != int64(in) {
+		t.Fatalf("Stutters = %d, want %d", s.Stutters, in)
+	}
+}
+
+func TestSlowStateDeterministicPerSeed(t *testing.T) {
+	p := SlowProfile{Factor: 2, StutterEvery: 50 * des.Millisecond, StutterFor: 20 * des.Millisecond, StutterFactor: 5}
+	run := func(seed int64) []des.Time {
+		s := NewSlowState(p, seed)
+		var out []des.Time
+		for now := des.Time(0); now < des.Second; now += 3 * des.Millisecond {
+			extra, _ := s.Inflate(now, des.Millisecond)
+			out = append(out, extra)
+		}
+		return out
+	}
+	a, b := run(3), run(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("inflation %d differs across identically seeded states", i)
+		}
+	}
+	c := run(4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical stutter streams")
+	}
+}

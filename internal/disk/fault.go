@@ -56,10 +56,61 @@ type FaultModel struct {
 	// TimeoutDelay is how long the host waits before declaring a command
 	// dead; 0 means DefaultFaultTimeout.
 	TimeoutDelay des.Time
+	// Slow assigns fail-slow profiles to individual drives by index: the
+	// drive keeps answering, just slower — persistently, in stutter
+	// windows, or both. Nil or empty means every drive runs at full speed.
+	Slow map[int]SlowProfile
 }
 
 // Enabled reports whether the model can ever produce a fault.
 func (m FaultModel) Enabled() bool { return m.TransientRate > 0 || m.TimeoutRate > 0 }
+
+// SlowFor returns drive i's fail-slow profile (zero value when none).
+func (m FaultModel) SlowFor(i int) SlowProfile { return m.Slow[i] }
+
+// SlowProfile describes one drive's fail-slow behaviour: real arrays
+// mostly degrade by getting slow (media retries, remapped sectors,
+// vibration, firmware GC) long before they fail outright. The profile
+// inflates the mechanical service time of every command; the host sees
+// only the longer completion, exactly as with a real stuttering drive.
+type SlowProfile struct {
+	// Factor persistently multiplies every command's mechanical service
+	// time. 0 or 1 means no persistent inflation; 4 means the drive takes
+	// four times as long to position and transfer.
+	Factor float64
+	// StutterEvery is the mean gap between stutter-window starts (drawn
+	// exponentially from the drive's seeded stream). 0 disables stutters.
+	StutterEvery des.Time
+	// StutterFor is the mean duration of a stutter window (exponential).
+	StutterFor des.Time
+	// StutterFactor multiplies mechanical service time for commands whose
+	// service falls inside a stutter window (on top of Factor).
+	StutterFactor float64
+}
+
+// Enabled reports whether the profile slows anything.
+func (p SlowProfile) Enabled() bool {
+	return p.Factor > 1 || p.StutterEvery > 0
+}
+
+// Validate rejects nonsensical profiles.
+func (p SlowProfile) Validate() error {
+	if p.Factor < 0 || (p.Factor > 0 && p.Factor < 1) {
+		return fmt.Errorf("disk: slow factor %v must be 0 or >= 1", p.Factor)
+	}
+	if p.StutterEvery < 0 || p.StutterFor < 0 {
+		return fmt.Errorf("disk: negative stutter interval/duration %v/%v", p.StutterEvery, p.StutterFor)
+	}
+	if p.StutterEvery > 0 {
+		if p.StutterFor == 0 {
+			return fmt.Errorf("disk: stutter windows enabled with zero duration")
+		}
+		if p.StutterFactor < 1 {
+			return fmt.Errorf("disk: stutter factor %v must be >= 1", p.StutterFactor)
+		}
+	}
+	return nil
+}
 
 // Validate rejects rates outside [0, 0.5] (individually) or summing to
 // 0.9+. The bound guarantees that retry-until-success terminates quickly:
@@ -77,6 +128,14 @@ func (m FaultModel) Validate() error {
 	}
 	if m.TimeoutDelay < 0 {
 		return fmt.Errorf("disk: negative fault timeout %v", m.TimeoutDelay)
+	}
+	for i, p := range m.Slow {
+		if i < 0 {
+			return fmt.Errorf("disk: slow profile for negative drive index %d", i)
+		}
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("drive %d: %w", i, err)
+		}
 	}
 	return nil
 }
@@ -120,4 +179,67 @@ func (fi *FaultInjector) Draw() FaultKind {
 		return FaultTransient
 	}
 	return FaultNone
+}
+
+// SlowState realizes one drive's SlowProfile: the persistent inflation
+// factor plus a lazily generated stream of stutter windows, drawn from the
+// drive's own seeded rng so slow behaviour is reproducible and independent
+// of the transient-fault stream (enabling stutters never perturbs which
+// commands fault).
+type SlowState struct {
+	prof             SlowProfile
+	rng              *rand.Rand
+	winStart, winEnd des.Time
+	inited           bool
+	// Stutters counts commands that fell inside a stutter window.
+	Stutters int64
+}
+
+// NewSlowState builds the per-drive slow stream. A nil return means the
+// profile slows nothing (callers skip the hook entirely).
+func NewSlowState(p SlowProfile, seed int64) *SlowState {
+	if !p.Enabled() {
+		return nil
+	}
+	return &SlowState{prof: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Profile returns the state's configuration.
+func (s *SlowState) Profile() SlowProfile { return s.prof }
+
+// advance rolls the window stream forward so that winEnd > now, drawing
+// new (start, duration) pairs as simulated time passes. Deterministic in
+// the sequence of now values, which the DES makes deterministic.
+func (s *SlowState) advance(now des.Time) {
+	draw := func(mean des.Time) des.Time {
+		return des.Time(s.rng.ExpFloat64() * float64(mean))
+	}
+	if !s.inited {
+		s.inited = true
+		s.winStart = draw(s.prof.StutterEvery)
+		s.winEnd = s.winStart + draw(s.prof.StutterFor)
+	}
+	for now >= s.winEnd {
+		s.winStart = s.winEnd + draw(s.prof.StutterEvery)
+		s.winEnd = s.winStart + draw(s.prof.StutterFor)
+	}
+}
+
+// Inflate returns the extra service time a command suffers: svc is the
+// healthy mechanical service duration and now the time the mechanism
+// started. stutter reports whether a stutter window contributed (so upper
+// layers can attribute the slowness).
+func (s *SlowState) Inflate(now, svc des.Time) (extra des.Time, stutter bool) {
+	if f := s.prof.Factor; f > 1 {
+		extra = des.Time((f - 1) * float64(svc))
+	}
+	if s.prof.StutterEvery > 0 {
+		s.advance(now)
+		if now >= s.winStart && now < s.winEnd {
+			extra += des.Time((s.prof.StutterFactor - 1) * float64(svc))
+			stutter = true
+			s.Stutters++
+		}
+	}
+	return extra, stutter
 }

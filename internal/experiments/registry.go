@@ -60,6 +60,7 @@ var Registry = map[string]Runner{
 	"ablation-mirror":        figRunner(AblationMirrorSched),
 	"ablation-opportunistic": figRunner(AblationOpportunistic),
 	"degraded-rebuild":       figRunner(DegradedRebuild),
+	"fail-slow":              figRunner(FailSlow),
 }
 
 func figRunner(f func(Config) (*Figure, error)) Runner {

@@ -44,6 +44,9 @@ const (
 	// Delayed is replica-propagation and rebuild-copy writes issued from
 	// the delayed queues.
 	Delayed
+	// Hedge is post-dispatch hedge duplicates of in-flight foreground
+	// reads (the fail-slow mitigation path).
+	Hedge
 	// NumClasses sizes per-class arrays.
 	NumClasses
 )
@@ -58,6 +61,8 @@ func (c Class) String() string {
 		return "background"
 	case Delayed:
 		return "delayed"
+	case Hedge:
+		return "hedge"
 	}
 	return "unknown"
 }
@@ -214,6 +219,15 @@ type DriveMetrics struct {
 	Transients int64
 	Timeouts   int64
 
+	// SlowUS sums the extra service time a fail-slow drive added to its
+	// commands; Stutters counts the commands that fell inside a stutter
+	// window. Both zero for healthy drives.
+	SlowUS   int64
+	Stutters int64
+	// Health samples the drive's tracked health state (core's
+	// Healthy=0 / Suspect=1 / Evicted=2) at each transition.
+	Health Gauge
+
 	trace *ring
 }
 
@@ -299,6 +313,14 @@ func (m *DriveMetrics) Fault(k disk.FaultKind) {
 	}
 }
 
+// Slow attributes one fail-slow-inflated command to the drive.
+func (m *DriveMetrics) Slow(by des.Time, stutter bool) {
+	m.SlowUS += us(by)
+	if stutter {
+		m.Stutters++
+	}
+}
+
 func (m *DriveMetrics) merge(o *DriveMetrics) {
 	for c := 0; c < int(NumClasses); c++ {
 		for op := 0; op < int(NumOps); op++ {
@@ -315,6 +337,9 @@ func (m *DriveMetrics) merge(o *DriveMetrics) {
 	m.Retries += o.Retries
 	m.Transients += o.Transients
 	m.Timeouts += o.Timeouts
+	m.SlowUS += o.SlowUS
+	m.Stutters += o.Stutters
+	m.Health.merge(&o.Health)
 }
 
 // us rounds a simulated duration to integer microseconds.
@@ -386,6 +411,17 @@ type Recorder struct {
 	ChunksLost int64
 	// NVRAM samples the delayed-write metadata table occupancy.
 	NVRAM Gauge
+
+	// Hedge lifecycle counters (every issued hedge terminates exactly one
+	// way, so HedgesIssued == HedgesWon + HedgesLost + HedgesCancelled).
+	HedgesIssued    int64
+	HedgesWon       int64
+	HedgesLost      int64
+	HedgesCancelled int64
+	// Admission-control sheds and proactive health evictions.
+	ShedOverload int64
+	ShedDeadline int64
+	Evictions    int64
 }
 
 // Label returns the recorder's registry label.
@@ -413,4 +449,11 @@ func (r *Recorder) merge(o *Recorder) {
 	r.ChunksDone += o.ChunksDone
 	r.ChunksLost += o.ChunksLost
 	r.NVRAM.merge(&o.NVRAM)
+	r.HedgesIssued += o.HedgesIssued
+	r.HedgesWon += o.HedgesWon
+	r.HedgesLost += o.HedgesLost
+	r.HedgesCancelled += o.HedgesCancelled
+	r.ShedOverload += o.ShedOverload
+	r.ShedDeadline += o.ShedDeadline
+	r.Evictions += o.Evictions
 }

@@ -102,6 +102,9 @@ type driveJSON struct {
 	Retries     int64         `json:"retries,omitempty"`
 	Transients  int64         `json:"transients,omitempty"`
 	Timeouts    int64         `json:"timeouts,omitempty"`
+	SlowUS      int64         `json:"slow_us,omitempty"`
+	Stutters    int64         `json:"stutters,omitempty"`
+	Health      *gaugeJSON    `json:"health,omitempty"`
 	Picks       int64         `json:"picks,omitempty"`
 	PredictedUS int64         `json:"predicted_us,omitempty"`
 	QueueDepth  *gaugeJSON    `json:"queue_depth,omitempty"`
@@ -110,11 +113,18 @@ type driveJSON struct {
 }
 
 type recorderJSON struct {
-	Label      string      `json:"label"`
-	ChunksDone int64       `json:"rebuild_chunks_done,omitempty"`
-	ChunksLost int64       `json:"rebuild_chunks_lost,omitempty"`
-	NVRAM      *gaugeJSON  `json:"nvram,omitempty"`
-	Drives     []driveJSON `json:"drives"`
+	Label           string      `json:"label"`
+	ChunksDone      int64       `json:"rebuild_chunks_done,omitempty"`
+	ChunksLost      int64       `json:"rebuild_chunks_lost,omitempty"`
+	NVRAM           *gaugeJSON  `json:"nvram,omitempty"`
+	HedgesIssued    int64       `json:"hedges_issued,omitempty"`
+	HedgesWon       int64       `json:"hedges_won,omitempty"`
+	HedgesLost      int64       `json:"hedges_lost,omitempty"`
+	HedgesCancelled int64       `json:"hedges_cancelled,omitempty"`
+	ShedOverload    int64       `json:"shed_overload,omitempty"`
+	ShedDeadline    int64       `json:"shed_deadline,omitempty"`
+	Evictions       int64       `json:"evictions,omitempty"`
+	Drives          []driveJSON `json:"drives"`
 }
 
 // Snapshot exports every recorder's metrics as indented JSON. Recorders
@@ -146,10 +156,17 @@ func (g *Registry) Snapshot() ([]byte, error) {
 	for _, l := range labels {
 		r := byLabel[l]
 		rj := recorderJSON{
-			Label:      l,
-			ChunksDone: r.ChunksDone,
-			ChunksLost: r.ChunksLost,
-			NVRAM:      gaugeOut(&r.NVRAM),
+			Label:           l,
+			ChunksDone:      r.ChunksDone,
+			ChunksLost:      r.ChunksLost,
+			NVRAM:           gaugeOut(&r.NVRAM),
+			HedgesIssued:    r.HedgesIssued,
+			HedgesWon:       r.HedgesWon,
+			HedgesLost:      r.HedgesLost,
+			HedgesCancelled: r.HedgesCancelled,
+			ShedOverload:    r.ShedOverload,
+			ShedDeadline:    r.ShedDeadline,
+			Evictions:       r.Evictions,
 		}
 		for i := range r.drives {
 			d := &r.drives[i]
@@ -161,6 +178,9 @@ func (g *Registry) Snapshot() ([]byte, error) {
 				Retries:     d.Retries,
 				Transients:  d.Transients,
 				Timeouts:    d.Timeouts,
+				SlowUS:      d.SlowUS,
+				Stutters:    d.Stutters,
+				Health:      gaugeOut(&d.Health),
 				Picks:       d.Picks,
 				PredictedUS: d.PredictedUS,
 				QueueDepth:  gaugeOut(&d.QueueDepth),

@@ -60,6 +60,16 @@ type Request struct {
 	// waited BackgroundMaxWait, after which it competes normally so
 	// rebuild cannot starve under sustained load.
 	Background bool
+	// Hedged marks a post-dispatch duplicate of an in-flight read (the
+	// array's hedged-read mechanism); scheduling treats it like any
+	// foreground request, observability classes it separately.
+	Hedged bool
+	// Penalty handicaps the request in access-time-ranked policies (the
+	// SATF family's score and RLOOK's same-cylinder choice): the array
+	// layer sets it on duplicates queued to a Suspect fail-slow drive so
+	// that a healthy mirror's scan claims the shared copy first. It biases
+	// only the comparison, never the predicted time reported in a Choice.
+	Penalty des.Time
 	// Tag carries array-layer bookkeeping through the scheduler untouched.
 	Tag interface{}
 }
@@ -379,14 +389,15 @@ func (l *look) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Ac
 	// the earliest arrival (plain LOOK has no rotational knowledge).
 	cyl := queue[idx].Replicas[0].first().Start.Cyl
 	if l.rotational {
-		bestIdx, bestRep, bestT := -1, 0, des.Time(math.Inf(1))
+		bestIdx, bestRep := -1, 0
+		bestT, bestScore := des.Time(math.Inf(1)), des.Time(math.Inf(1))
 		for i, r := range queue {
 			if !l.schedBuf[i] || r.Replicas[0].first().Start.Cyl != cyl {
 				continue
 			}
 			rep, t := bestReplica(now, arm, r, est, true)
-			if t < bestT {
-				bestIdx, bestRep, bestT = i, rep, t
+			if score := t + r.Penalty; score < bestScore {
+				bestIdx, bestRep, bestT, bestScore = i, rep, t, score
 			}
 		}
 		return Choice{Index: bestIdx, Replica: bestRep, Predicted: bestT}, true
@@ -480,7 +491,7 @@ func (s *satf) Pick(now des.Time, arm disk.State, queue []*Request, est calib.Ac
 		if !ok {
 			continue
 		}
-		score := float64(t) - s.aging*float64(now-r.Arrive)
+		score := float64(t+r.Penalty) - s.aging*float64(now-r.Arrive)
 		if score < bestScore {
 			bestIdx, bestRep, bestT, bestScore = i, rep, t, score
 		}

@@ -107,6 +107,32 @@ const (
 // Array.RebuildProgress.
 type RebuildProgress = core.RebuildProgress
 
+// SlowProfile assigns fail-slow behaviour to one drive via
+// FaultModel.Slow: a persistent service-time inflation factor plus
+// optional periodic stutter windows.
+type SlowProfile = disk.SlowProfile
+
+// HealthOptions configures the per-drive fail-slow health tracker
+// (Options.Health); the zero value disables tracking.
+type HealthOptions = core.HealthOptions
+
+// HealthState classifies one drive's tracked fail-slow condition, from
+// Array.DriveHealth.
+type HealthState = core.HealthState
+
+// Health tracker states.
+const (
+	HealthHealthy = core.HealthHealthy
+	HealthSuspect = core.HealthSuspect
+	HealthEvicted = core.HealthEvicted
+)
+
+// HedgeCounters reports hedged-read activity, from Array.Hedges.
+type HedgeCounters = core.HedgeCounters
+
+// ShedCounters reports admission-control activity, from Array.Sheds.
+type ShedCounters = core.ShedCounters
+
 // Typed failure causes carried by Result.Err; test with errors.Is.
 var (
 	// ErrDriveIndex reports a drive index outside the array.
@@ -116,6 +142,12 @@ var (
 	ErrDataLost = core.ErrDataLost
 	// ErrNoFreshReplica reports a read finding every replica stale.
 	ErrNoFreshReplica = core.ErrNoFreshReplica
+	// ErrOverload reports a request rejected at Submit by admission
+	// control (Options.MaxQueueDepth).
+	ErrOverload = core.ErrOverload
+	// ErrDeadlineExceeded reports a read that waited out
+	// Options.ReadDeadline in a queue without being dispatched.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
 )
 
 // DiskSpec describes a drive model in datasheet terms.

@@ -1,0 +1,87 @@
+// Scrub demonstrates the silent-corruption tolerance stack: latent media
+// errors return successfully with garbage, so an unprotected array serves
+// corrupt data without noticing. Verify-on-read catches the poison at
+// access time, fails over to a clean mirror copy, and repairs in place;
+// the paced background scrubber finds the cold poison no workload ever
+// touches before a second fault can strand it.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	mimdraid "repro"
+)
+
+func main() {
+	scenarios := []struct {
+		name          string
+		verify, scrub bool
+	}{
+		{"unprotected", false, false},
+		{"+ verify-on-read", true, false},
+		{"+ background scrub", true, true},
+	}
+
+	fmt.Println("RAID-10 on six drives. 64 chunk copies are pre-poisoned with latent")
+	fmt.Println("errors and every read draws fresh ones at 0.5%; 4000 random 4KB reads:")
+	fmt.Printf("  %-20s %8s %8s %8s %10s\n",
+		"scenario", "silent", "detected", "repaired", "remaining")
+
+	for _, sc := range scenarios {
+		sim := mimdraid.NewSim()
+		opts := mimdraid.Options{
+			Config:      mimdraid.RAID10(6),
+			Seed:        9,
+			DataSectors: 1 << 18,
+			Faults:      mimdraid.FaultModel{LatentRate: 0.005},
+			VerifyReads: sc.verify,
+		}
+		if sc.scrub {
+			opts.Scrub = mimdraid.ScrubOptions{Enabled: true, MBps: 32}
+		}
+		arr, err := mimdraid.New(sim, opts)
+		if err != nil {
+			panic(err)
+		}
+		injected := arr.InjectCorruption(64, 7)
+
+		rng := rand.New(rand.NewSource(4))
+		const n = 4000
+		issued := 0
+		var issue func()
+		issue = func() {
+			if issued >= n {
+				return
+			}
+			issued++
+			off := rng.Int63n(arr.DataSectors() - 8)
+			if err := arr.Read(off, 8, func(mimdraid.Result) { issue() }); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			issue()
+		}
+		sim.Run()
+
+		fc := arr.Faults()
+		fmt.Printf("  %-20s %8d %8d %8d %10d\n", sc.name,
+			fc.SilentReads, fc.VerifyDetected, fc.RepairsDone, arr.CorruptCopies())
+
+		if sc.scrub {
+			s := arr.ScrubCounters()
+			fmt.Println("\nInside the scrub run:")
+			fmt.Printf("  injected %d poisoned copies; the workload touched only a fraction\n", injected)
+			fmt.Printf("  scrub pass verified %d copies, condemned %d, repaired %d, skipped %d\n",
+				s.Verified, s.Corrupt, s.Repaired, s.Skipped)
+			fmt.Printf("  passes completed: %d, paced at 32 MB/s in the Background class\n", s.Passes)
+		}
+	}
+
+	fmt.Println("\nUnprotected, the poisoned copies the workload happens to read are")
+	fmt.Println("served as good data — only the oracle's silent-read count knows.")
+	fmt.Println("Verify-on-read stops the bleeding for touched data but leaves cold")
+	fmt.Println("poison in place; the scrubber sweeps the whole volume and repairs it,")
+	fmt.Println("so a later drive loss cannot pair with a latent error it never saw.")
+}

@@ -61,6 +61,17 @@ type Completion struct {
 	// whether to retry, fail over to another copy, or give up.
 	Fault disk.FaultKind
 
+	// Latent, Corrupt, and Torn mark silent corruption injected on an
+	// otherwise successful completion — OK() stays true and the host's
+	// driver sees nothing wrong; only an end-to-end integrity check above
+	// the bus can notice. Latent: the media under a read has rotted and the
+	// returned data is garbage (persists until rewritten). Corrupt: the
+	// transfer path garbled this read once (the media is fine). Torn: a
+	// write reported success but the copy on the platter is garbage.
+	Latent  bool
+	Corrupt bool
+	Torn    bool
+
 	// SlowBy is the extra service time a fail-slow drive added to this
 	// command (zero on healthy drives); Stutter reports that a stutter
 	// window — rather than only the drive's persistent inflation —
@@ -151,6 +162,9 @@ type Drive struct {
 	// slow inflates mechanical service times (fail-slow drive); nil (the
 	// default) means the drive runs at full speed.
 	slow *disk.SlowState
+	// corrupt injects silent corruption (latent errors, path corruption,
+	// torn writes); nil (the default) means data is always faithful.
+	corrupt *disk.CorruptionInjector
 
 	// Tagged command queueing.
 	tcqDepth int
@@ -224,6 +238,11 @@ func (d *Drive) SetSlow(s *disk.SlowState) { d.slow = s }
 
 // Slow returns the drive's fail-slow state, nil when healthy.
 func (d *Drive) Slow() *disk.SlowState { return d.slow }
+
+// SetCorruption attaches a silent-corruption injector (nil keeps data
+// faithful). Attach before submitting commands so the draw sequence is
+// reproducible.
+func (d *Drive) SetCorruption(ci *disk.CorruptionInjector) { d.corrupt = ci }
 
 // EnableTCQ turns on tagged command queueing with the given depth.
 func (d *Drive) EnableTCQ(depth int) {
@@ -311,6 +330,16 @@ func (d *Drive) start(cmd Command, done func(Completion)) {
 	if d.faults != nil {
 		fault = d.faults.Draw()
 	}
+	// The corruption stream draws once per command unconditionally, so
+	// which commands corrupt is independent of which ones fault; a faulted
+	// command transfers nothing and its draw is discarded.
+	var latent, corrupt, torn bool
+	if d.corrupt != nil {
+		latent, corrupt, torn = d.corrupt.Draw(cmd.Op == OpWrite)
+		if fault != disk.FaultNone {
+			latent, corrupt, torn = false, false, false
+		}
+	}
 	if fault == disk.FaultTimeout {
 		// The command dies inside the drive: no mechanical service, no arm
 		// movement. The host learns of the loss only when its command timer
@@ -360,6 +389,9 @@ func (d *Drive) start(cmd Command, done func(Completion)) {
 		Submitted: now,
 		Observed:  observed,
 		Fault:     fault, // FaultNone or FaultTransient (full service, bad transfer)
+		Latent:    latent,
+		Corrupt:   corrupt,
+		Torn:      torn,
 		SlowBy:    slowBy,
 		Stutter:   stutter,
 		MechStart: mechStart,

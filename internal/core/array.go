@@ -141,6 +141,18 @@ type Options struct {
 	// shedding for callers who would rather retry elsewhere than wait out
 	// a saturated queue. In-flight commands are never aborted. 0 disables.
 	ReadDeadline des.Time
+	// VerifyReads checks every foreground/hedged read's data against the
+	// integrity oracle (the simulator's stand-in for per-extent
+	// checksums): corrupt or stale data is never returned — the read fails
+	// over to a clean replica and an in-place repair of the bad copy is
+	// queued. Off, corrupt data flows to the caller and is tallied in
+	// FaultCounters.SilentReads.
+	VerifyReads bool
+	// Scrub starts the paced background scrubber at construction: a
+	// cylinder-order walk of every drive's chunk copies issuing
+	// background-class verify reads and repairing what they catch. See
+	// ScrubOptions.
+	Scrub ScrubOptions
 
 	// Obs, when non-nil, attaches the array to an observability registry:
 	// per-drive latency histograms, scheduler decision counters, fault and
@@ -205,6 +217,19 @@ type Array struct {
 	hedges    HedgeCounters
 	sheds     ShedCounters
 
+	// integrity gates the silent-corruption oracle: true when corruption
+	// can be injected, reads are verified, or a scrubber runs. False keeps
+	// every read/write path free of oracle work (and allocation).
+	integrity bool
+	// verSeq stamps logical writes; committed holds each chunk's durable
+	// content version (see integrity.go).
+	verSeq    uint64
+	committed map[int64]uint64
+	// scrub is the background scrubber state, nil until started; scrubCtr
+	// accumulates its counters (surviving scrubber completion).
+	scrub    *scrubState
+	scrubCtr ScrubCounters
+
 	// hedgeLat accumulates clean foreground read service times for the
 	// adaptive hedge delay (maintained only when Hedge is on and
 	// HedgeAfter is 0).
@@ -259,6 +284,10 @@ type drive struct {
 	queue   []*sched.Request
 	delayed []*delayedCopy
 	stale   map[int64]*chunkState // chunk -> pending-propagation state
+	// integ is the integrity oracle's per-chunk copy state (content
+	// versions and corruption marks), allocated lazily and only when the
+	// oracle is on.
+	integ map[int64]*integState
 
 	refInFlight bool
 	// rec is this drive's observability slot, keyed by physical creation
@@ -344,6 +373,9 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 	if opts.RebuildMBps == 0 {
 		opts.RebuildMBps = 8
 	}
+	if err := opts.Scrub.validate(); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	// Build a reference drive to size the volume.
@@ -375,6 +407,12 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 		sim: sim, opts: opts, lay: lay, nvramCap: opts.NVRAMEntries,
 		writeGate:  make(map[int64][]func()),
 		lostChunks: make(map[int64]bool),
+	}
+	// The oracle runs whenever something can corrupt data or consult the
+	// check; otherwise the committed map stays nil and no path touches it.
+	a.integrity = opts.Faults.CorruptionEnabled() || opts.VerifyReads || opts.Scrub.Enabled
+	if a.integrity {
+		a.committed = make(map[int64]uint64)
 	}
 
 	noise := bus.DefaultNoise()
@@ -428,6 +466,9 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 		// Slow streams are seeded separately so enabling stutters never
 		// perturbs which commands draw transient faults.
 		d.bus.SetSlow(disk.NewSlowState(opts.Faults.SlowFor(i), opts.Seed+int64(i)*32452843+11))
+		// Corruption draws come from a third independent stream: enabling
+		// silent corruption never perturbs faults or stutters.
+		d.bus.SetCorruption(disk.NewCorruptionInjector(opts.Faults, opts.Seed+int64(i)*49979687+17))
 		return d, nil
 	}
 	for i := 0; i < opts.Config.Disks(); i++ {
@@ -471,6 +512,11 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 		for _, d := range a.spares {
 			d.trk.Bootstrap(sim, d.bus)
 			a.RefReads += int64(d.trk.ObsCount)
+		}
+	}
+	if opts.Scrub.Enabled {
+		if err := a.StartScrub(opts.Scrub); err != nil {
+			return nil, err
 		}
 	}
 	return a, nil
@@ -575,11 +621,12 @@ func (a *Array) mergeReadPieces(pieces []layout.Piece) []layout.Piece {
 	fresh := func(p *layout.Piece) bool {
 		for _, id := range p.Mirrors {
 			d := a.drives[id]
-			// A drive whose copy of this chunk is gone (failed drive) or
-			// not yet reconstructed (rebuilding spare) makes freshness
-			// non-uniform across the merged range, so the pieces must stay
-			// separate and route chunk-by-chunk.
-			if d.failed || d.unreadable(p.Chunk) || a.freshMask(d, p.Chunk) != nil {
+			// A drive whose copy of this chunk is gone (failed drive), not
+			// yet reconstructed (rebuilding spare), or tainted (pending
+			// propagation, detected corruption) makes freshness non-uniform
+			// across the merged range, so the pieces must stay separate and
+			// route chunk-by-chunk.
+			if d.failed || d.unreadable(p.Chunk) || a.freshMask(d, p.Chunk) != nil || a.anyKnownBad(d, p.Chunk) {
 				return false
 			}
 		}
@@ -706,12 +753,10 @@ func (a *Array) FailDrive(i int) error {
 	}
 	// Drop pending propagation to this drive; the copies are lost but the
 	// table entries must still resolve. Rebuild reconstruction copies never
-	// marked staleness (the chunk was missing outright).
+	// marked staleness (the chunk was missing outright), and in-place
+	// repairs die with the drive (counted as dropped).
 	for _, c := range d.delayed {
-		if !c.rebuild {
-			a.clearStale(d, c.chunk, c.replica)
-		}
-		a.copyEntryDone(c.entry)
+		a.finishCopy(d, c, false, bus.Completion{})
 	}
 	d.delayed = nil
 	// Reroute or fail queued foreground work.

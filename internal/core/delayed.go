@@ -92,6 +92,19 @@ type delayedCopy struct {
 	// staleness marks (the chunk is missing outright, a stronger state
 	// tracked by drive.missing).
 	rebuild bool
+	// repair marks an in-place rewrite of a detected-corrupt copy (queued
+	// by verify-on-read or the scrubber — scrub tells them apart for
+	// counting). Repairs carry no staleness marks and no NVRAM slot: a
+	// crash just loses the intent and the copy is re-detected later.
+	repair bool
+	scrub  bool
+	// poison marks a copy whose write content is garbage (an unverified
+	// rebuild faithfully copying a corrupt source): landing it poisons the
+	// destination instead of refreshing it.
+	poison bool
+	// ver is the content version the copy carries (0 when the integrity
+	// oracle is off).
+	ver uint64
 }
 
 // submitWrite routes one write piece. In foreground mode every copy is a
@@ -160,16 +173,27 @@ func (a *Array) submitWriteGated(ur *userRequest, p *layout.Piece) {
 		return
 	}
 	if a.opts.ForegroundWrites {
+		var ver uint64
+		if a.integrity {
+			ver = a.nextVersion()
+		}
+		covers := a.coversChunk(p.Chunk, p.Off, p.Count)
 		left := len(live) * a.opts.Config.Dr
 		done := func() {
 			left--
 			if left == 0 {
+				// Commit at the acknowledgement point: only now does a copy
+				// still holding the old content count as stale data.
+				if a.integrity {
+					a.commitVersion(p.Chunk, ver)
+				}
 				ur.pieceDone()
 			}
 		}
 		for _, id := range live {
 			d := a.drives[id]
 			for j := 0; j < a.opts.Config.Dr; j++ {
+				j := j
 				req := &sched.Request{
 					ID:       a.nextID(),
 					Write:    true,
@@ -177,7 +201,10 @@ func (a *Array) submitWriteGated(ur *userRequest, p *layout.Piece) {
 					Replicas: []sched.Replica{{Extents: p.Replicas[j]}},
 				}
 				req.Tag = &reqTag{
-					onDone: func(bus.Completion, int) { done() },
+					onDone: func(last bus.Completion, _ int) {
+						a.noteCopyWritten(d, p.Chunk, j, ver, covers, last)
+						done()
+					},
 					onFail: func() {
 						// A copy lost to a drive failure mid-queue still
 						// counts toward completion: the write survives on
@@ -224,7 +251,7 @@ func (a *Array) submitWriteGated(ur *userRequest, p *layout.Piece) {
 			group: g,
 			onDone: func(last bus.Completion, chosen int) {
 				ur.pieceDone()
-				a.registerPropagation(p, d, chosen)
+				a.registerPropagation(p, d, chosen, last)
 				a.releaseWriteGate(p.Chunk)
 			},
 			// All duplicates gone: retry against the survivors (the gate
@@ -254,13 +281,18 @@ func (a *Array) submitWriteGated(ur *userRequest, p *layout.Piece) {
 // of a piece landed on drive first at replica chosen, coalescing against
 // still-pending updates of the same range (data that dies young never hits
 // the platter twice).
-func (a *Array) registerPropagation(p *layout.Piece, first *drive, chosen int) {
+func (a *Array) registerPropagation(p *layout.Piece, first *drive, chosen int, last bus.Completion) {
 	if first.failed {
 		// The first copy landed on a drive that fail-stopped before its
 		// completion was processed: the new data is gone. Leave the
 		// surviving copies fresh with the pre-write contents rather than
 		// marking them stale against an unreadable source.
 		return
+	}
+	var ver uint64
+	if a.integrity {
+		ver = a.nextVersion()
+		a.noteCopyWritten(first, p.Chunk, chosen, ver, a.coversChunk(p.Chunk, p.Off, p.Count), last)
 	}
 	entry := &propEntry{tracked: true}
 	var touched []*drive
@@ -285,11 +317,18 @@ func (a *Array) registerPropagation(p *layout.Piece, first *drive, chosen int) {
 				chunk:   p.Chunk,
 				off:     p.Off,
 				count:   p.Count,
+				ver:     ver,
 			})
 			a.markStale(d, p.Chunk, j)
 			entry.remaining++
 		}
 		touched = append(touched, d)
+	}
+	// Delayed-mode writes acknowledge after the first copy: that is the
+	// commit point, and every pending copy above (stale until it lands)
+	// carries the committed version it will refresh to.
+	if a.integrity {
+		a.commitVersion(p.Chunk, ver)
 	}
 	if entry.remaining > 0 {
 		a.nvramUsed++
@@ -310,7 +349,11 @@ func (a *Array) registerPropagation(p *layout.Piece, first *drive, chosen int) {
 func (a *Array) coalesce(d *drive, chunk, off int64, count, replica int) {
 	kept := d.delayed[:0]
 	for _, c := range d.delayed {
-		if c.chunk == chunk && c.replica == replica &&
+		// Rebuild and repair copies are not propagations: they hold no
+		// staleness mark and must land regardless of newer writes (a repair
+		// landing after a newer write is harmless — versions only move
+		// forward).
+		if !c.rebuild && !c.repair && c.chunk == chunk && c.replica == replica &&
 			off <= c.off && off+int64(count) >= c.off+int64(c.count) {
 			a.clearStale(d, chunk, replica)
 			a.copyEntryDone(c.entry)
@@ -376,10 +419,10 @@ func (a *Array) dispatchDelayed(d *drive) {
 		}
 		switch {
 		case clean:
-			a.finishCopy(d, c)
+			a.finishCopy(d, c, true, last)
 		case d.failed:
 			// The copy dies with the drive; resolve its table entry.
-			a.finishCopy(d, c)
+			a.finishCopy(d, c, false, last)
 		default:
 			// Double fault with the drive alive: the copy must still land.
 			// Put it back at the front and let the next idle window retry.
@@ -389,9 +432,26 @@ func (a *Array) dispatchDelayed(d *drive) {
 	})
 }
 
-func (a *Array) finishCopy(d *drive, c *delayedCopy) {
-	if !c.rebuild {
+// finishCopy resolves one delayed copy: clean means the write landed on a
+// drive that is still alive. Propagation copies release their staleness
+// mark; repair copies resolve their counters; and when the oracle is on, a
+// landed copy refreshes (or, carrying poisoned content, corrupts) its
+// ground truth.
+func (a *Array) finishCopy(d *drive, c *delayedCopy, clean bool, last bus.Completion) {
+	switch {
+	case c.repair:
+		a.noteRepairEnd(c.scrub, clean && !d.failed)
+	case c.rebuild:
+		// Reconstruction copies never marked staleness.
+	default:
 		a.clearStale(d, c.chunk, c.replica)
+	}
+	if clean && a.integrity {
+		if c.poison {
+			a.poisonCopy(d, c.chunk, c.replica)
+		} else {
+			a.noteCopyWritten(d, c.chunk, c.replica, c.ver, a.coversChunk(c.chunk, c.off, c.count), last)
+		}
 	}
 	a.copyEntryDone(c.entry)
 }
@@ -434,8 +494,8 @@ func (a *Array) promoteCopy(d *drive, c *delayedCopy) {
 		Arrive:   a.sim.Now(),
 		Replicas: []sched.Replica{{Extents: c.extents}},
 		Tag: &reqTag{
-			onDone: func(bus.Completion, int) {
-				a.finishCopy(d, c)
+			onDone: func(last bus.Completion, _ int) {
+				a.finishCopy(d, c, true, last)
 			},
 			onFail: func() {
 				// Keep trying while the drive lives (the copy holds a
@@ -445,7 +505,7 @@ func (a *Array) promoteCopy(d *drive, c *delayedCopy) {
 					a.promoteCopy(d, c)
 					return
 				}
-				a.finishCopy(d, c)
+				a.finishCopy(d, c, false, bus.Completion{})
 			},
 		},
 	}
@@ -470,10 +530,13 @@ func (a *Array) RecoverDelayed() int {
 }
 
 // Idle reports whether the array has no queued, in-flight, or delayed
-// work. An active rebuild counts as work even between paced chunks, so
-// Drain waits for reconstruction to finish.
+// work. An active rebuild counts as work even between paced chunks, and so
+// does a running scrub pass, so Drain waits for both to finish.
 func (a *Array) Idle() bool {
 	if a.rebuild != nil {
+		return false
+	}
+	if a.scrub != nil && !a.scrub.done {
 		return false
 	}
 	for _, d := range a.drives {
@@ -553,21 +616,29 @@ func (a *Array) AdoptNVRAM(snapshot []byte) (int, error) {
 					owed = true
 				}
 			}
-			if !owed || int(e.Replica) >= len(p.Replicas) {
+			if !owed || e.Replica < 0 || int(e.Replica) >= len(p.Replicas) {
 				return n, fmt.Errorf("core: NVRAM entry %+v does not match this layout", e)
 			}
 			d := a.drives[e.Disk]
 			if d.failed {
 				continue
 			}
+			rep := int(e.Replica)
+			var ver uint64
+			if a.integrity {
+				ver = a.nextVersion()
+			}
+			covers := a.coversChunk(p.Chunk, p.Off, p.Count)
 			req := &sched.Request{
 				ID:       a.nextID(),
 				Write:    true,
 				Arrive:   a.sim.Now(),
-				Replicas: []sched.Replica{{Extents: p.Replicas[e.Replica]}},
+				Replicas: []sched.Replica{{Extents: p.Replicas[rep]}},
 			}
 			req.Tag = &reqTag{
-				onDone: func(bus.Completion, int) {},
+				onDone: func(last bus.Completion, _ int) {
+					a.noteCopyWritten(d, p.Chunk, rep, ver, covers, last)
+				},
 				onFail: func() {
 					// Recovery writes must land while the drive lives.
 					if !d.failed {

@@ -272,6 +272,10 @@ func (a *Array) runExtents(d *drive, req *sched.Request, extents []disk.Extent, 
 		op = bus.OpWrite
 	}
 	retries := 0
+	// Corruption flags accumulate across the run's extents so the final
+	// completion handed to done carries every silent draw, not just the
+	// last extent's.
+	var latent, corrupt, torn bool
 	var run func(i int, retried bool)
 	run = func(i int, retried bool) {
 		e := extents[i]
@@ -282,6 +286,12 @@ func (a *Array) runExtents(d *drive, req *sched.Request, extents []disk.Extent, 
 		d.bus.Submit(bus.Command{Op: op, LBA: lba, Count: e.Count}, func(comp bus.Completion) {
 			if comp.SlowBy > 0 {
 				a.noteSlow(d, comp)
+			}
+			if comp.Latent || comp.Corrupt || comp.Torn {
+				a.noteCorruption(d, comp)
+				latent = latent || comp.Latent
+				corrupt = corrupt || comp.Corrupt
+				torn = torn || comp.Torn
 			}
 			if !comp.OK() {
 				a.noteFault(d, comp.Fault)
@@ -301,6 +311,7 @@ func (a *Array) runExtents(d *drive, req *sched.Request, extents []disk.Extent, 
 				run(i+1, false)
 				return
 			}
+			comp.Latent, comp.Corrupt, comp.Torn = latent, corrupt, torn
 			done(comp, true, retries)
 		})
 	}
@@ -346,6 +357,7 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 	}
 	var cands []cand
 	anyUnreachable := false
+	anyCorrupt := false
 	for _, id := range p.Mirrors {
 		d := a.drives[id]
 		if d.failed || d.unreadable(p.Chunk) {
@@ -354,23 +366,31 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 			anyUnreachable = true
 			continue
 		}
-		mask := a.freshMask(d, p.Chunk)
+		if a.anyKnownBad(d, p.Chunk) {
+			anyCorrupt = true
+		}
+		mask := a.readMask(d, p.Chunk)
 		if mask != nil && !anyTrue(mask) {
-			continue // every replica here is stale
+			continue // every replica here is stale or known-corrupt
 		}
 		cands = append(cands, cand{d, mask})
 	}
 	if len(cands) == 0 {
 		// Degraded-mode reads fail here with ErrDataLost: every copy is on
-		// a failed drive or was lost before rebuild reached it. The
-		// all-drives-alive case should be unreachable (the most recent
+		// a failed drive or was lost before rebuild reached it. When a
+		// verify check condemned the last reachable copy the failure is
+		// ErrCorruptData instead (detection worked; nothing clean remains).
+		// The all-drives-alive case should be unreachable (the most recent
 		// first-written copy is fresh by construction) but surfaces as a
 		// failed read with ErrNoFreshReplica rather than killing a long
 		// simulation — a staleness-tracking bug degrades, it does not
 		// panic.
-		if anyUnreachable {
+		switch {
+		case anyUnreachable:
 			ur.pieceFailed(fmt.Errorf("%w: chunk %d", ErrDataLost, p.Chunk))
-		} else {
+		case anyCorrupt:
+			ur.pieceFailed(fmt.Errorf("%w: chunk %d", ErrCorruptData, p.Chunk))
+		default:
 			ur.pieceFailed(fmt.Errorf("%w: chunk %d", ErrNoFreshReplica, p.Chunk))
 		}
 		return
@@ -397,10 +417,28 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 		req.Tag = &reqTag{
 			group: g,
 			hc:    hc,
-			onDone: func(bus.Completion, int) {
-				if hc != nil {
-					hc.primaryDone()
+			onDone: func(last bus.Completion, chosen int) {
+				// Verify-on-read: consult the oracle where a real array
+				// would check the extent checksums. A hit fails over to the
+				// remaining clean replicas (queueing an in-place repair);
+				// with verification off the corrupt read flows to the
+				// caller and is only counted.
+				bad := a.integrity && a.checkPieceRead(c.d, p, chosen, last)
+				if bad && a.opts.VerifyReads {
+					a.noteDetected(c.d, p, chosen)
+					if hc != nil {
+						hc.primaryFail()
+						return
+					}
+					a.submitRead(ur, p)
 					return
+				}
+				if hc != nil {
+					hc.primaryDone(bad)
+					return
+				}
+				if bad {
+					a.noteSilent()
 				}
 				ur.pieceDone()
 			},

@@ -25,4 +25,8 @@ var (
 	// Options.ReadDeadline in a drive queue without being dispatched and
 	// was shed instead.
 	ErrDeadlineExceeded = errors.New("core: read deadline exceeded in queue")
+	// ErrCorruptData reports a verified read that found every reachable
+	// replica known-corrupt: detection worked, but no clean copy remains to
+	// fail over to (repair, if possible, has been queued).
+	ErrCorruptData = errors.New("core: all replicas corrupt")
 )

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/disk"
+import (
+	"repro/internal/bus"
+	"repro/internal/disk"
+)
 
 // FaultCounters aggregates the array's degraded-mode activity: how often
 // injected faults fired, how the retry/failover policy responded, and what
@@ -34,6 +37,31 @@ type FaultCounters struct {
 	Stutters     int64
 	// Evictions counts drives the health tracker proactively fail-stopped.
 	Evictions int64
+
+	// LatentErrors counts latent sector errors surfaced by the corruption
+	// stream (plus copies poisoned via InjectCorruption); TornWrites counts
+	// writes that reported success onto garbage; CorruptReads counts
+	// transient read-path corruption draws. All three are injections
+	// observed, whether or not anything noticed them.
+	LatentErrors int64
+	TornWrites   int64
+	CorruptReads int64
+	// SilentReads counts foreground/hedged reads that returned corrupt or
+	// stale data to the caller with verification off — the exposure window
+	// the verify-on-read check exists to close.
+	SilentReads int64
+	// VerifyDetected counts reads the verify-on-read check failed over
+	// because the data was corrupt or stale.
+	VerifyDetected int64
+	// RepairsQueued/RepairsDone/RepairsDropped count in-place repairs
+	// initiated by verify-on-read (scrub-initiated repairs are tallied in
+	// ScrubCounters instead). A repair dies with its drive as Dropped.
+	RepairsQueued  int64
+	RepairsDone    int64
+	RepairsDropped int64
+	// Unrepairable counts detected-corrupt copies with no clean source
+	// left to repair from.
+	Unrepairable int64
 }
 
 // Faults returns a snapshot of the degraded-mode counters.
@@ -53,5 +81,24 @@ func (a *Array) noteFault(d *drive, k disk.FaultKind) {
 	}
 	if a.opts.Health.Enabled {
 		a.healthFault(d)
+	}
+}
+
+// noteCorruption tallies the silent-corruption injections one clean
+// command surfaced, both globally and on the drive that produced them.
+// Called only for completions carrying at least one corruption flag, so
+// the disabled path costs nothing.
+func (a *Array) noteCorruption(d *drive, comp bus.Completion) {
+	if comp.Latent {
+		a.faults.LatentErrors++
+	}
+	if comp.Corrupt {
+		a.faults.CorruptReads++
+	}
+	if comp.Torn {
+		a.faults.TornWrites++
+	}
+	if d.rec != nil {
+		d.rec.Corruption(comp.Latent, comp.Corrupt, comp.Torn)
 	}
 }

@@ -182,7 +182,7 @@ func (a *Array) fireHedge(hc *hedgeCtl) {
 		if d == hc.primaryDrive || d.failed || d.unreadable(hc.p.Chunk) {
 			continue
 		}
-		mask := a.freshMask(d, hc.p.Chunk)
+		mask := a.readMask(d, hc.p.Chunk)
 		if mask != nil && !anyTrue(mask) {
 			continue
 		}
@@ -203,15 +203,25 @@ func (a *Array) fireHedge(hc *hedgeCtl) {
 		Arrive:          a.sim.Now(),
 		Hedged:          true,
 		Replicas:        replicasOf(hc.p),
-		AllowedReplicas: a.freshMask(best, hc.p.Chunk),
+		AllowedReplicas: a.readMask(best, hc.p.Chunk),
 	}
 	if bestRank > 0 {
 		req.Penalty = SuspectPenalty
 	}
 	req.Tag = &reqTag{
 		hedgeOf: hc,
-		onDone:  func(bus.Completion, int) { hc.hedgeDone() },
-		onFail:  func() { hc.hedgeFail() },
+		onDone: func(last bus.Completion, chosen int) {
+			// Hedges verify like primaries: a corrupt winner must not
+			// answer the caller.
+			bad := a.integrity && a.checkPieceRead(best, hc.p, chosen, last)
+			if bad && a.opts.VerifyReads {
+				a.noteDetected(best, hc.p, chosen)
+				hc.hedgeFail()
+				return
+			}
+			hc.hedgeDone(bad)
+		},
+		onFail: func() { hc.hedgeFail() },
 	}
 	hc.hedgeLive = true
 	hc.hedgeReq = req
@@ -224,12 +234,17 @@ func (a *Array) fireHedge(hc *hedgeCtl) {
 }
 
 // primaryDone settles the race in the primary's favor (or discards the
-// primary's completion if the hedge already won).
-func (hc *hedgeCtl) primaryDone() {
+// primary's completion if the hedge already won). bad reports that the
+// winning data was corrupt with verification off: only the copy that
+// actually answers the caller counts as a silent read.
+func (hc *hedgeCtl) primaryDone(bad bool) {
 	if hc.settled {
 		return
 	}
 	hc.settled = true
+	if bad {
+		hc.a.noteSilent()
+	}
 	hc.cancelHedge()
 	hc.ur.pieceDone()
 }
@@ -250,13 +265,18 @@ func (hc *hedgeCtl) primaryFail() {
 }
 
 // hedgeDone settles the race in the hedge's favor (or discards the hedge's
-// completion if the primary already won — Lost was counted then).
-func (hc *hedgeCtl) hedgeDone() {
+// completion if the primary already won — Lost was counted then). bad
+// marks a corrupt winner under verification-off, counted only because this
+// copy answers the caller.
+func (hc *hedgeCtl) hedgeDone(bad bool) {
 	if hc.settled {
 		return
 	}
 	hc.settled = true
 	hc.hedgeLive = false
+	if bad {
+		hc.a.noteSilent()
+	}
 	hc.a.hedges.Won++
 	if hc.a.obsRec != nil {
 		hc.a.obsRec.HedgesWon++

@@ -14,7 +14,7 @@ import (
 
 // pendingWrites fills the delayed-write table and returns once every
 // submitted write has completed (propagations still pending).
-func pendingWrites(t *testing.T, sim *des.Sim, a *Array, n int, seed int64) {
+func pendingWrites(t testing.TB, sim *des.Sim, a *Array, n int, seed int64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	wrote := 0
@@ -82,7 +82,7 @@ func TestNVRAMSmallCapStaysBounded(t *testing.T) {
 }
 
 // encodeEntries builds a snapshot from hand-crafted table entries.
-func encodeEntries(t *testing.T, entries []nvramEntry) []byte {
+func encodeEntries(t testing.TB, entries []nvramEntry) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {

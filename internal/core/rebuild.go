@@ -293,7 +293,7 @@ func (a *Array) readForRebuild(st *rebuildState, c int64, p *layout.Piece) {
 		if d.failed || d.unreadable(c) {
 			continue
 		}
-		if m := a.freshMask(d, c); m != nil && !anyTrue(m) {
+		if m := a.readMask(d, c); m != nil && !anyTrue(m) {
 			continue
 		}
 		src = d
@@ -309,18 +309,29 @@ func (a *Array) readForRebuild(st *rebuildState, c int64, p *layout.Piece) {
 		Background: true,
 		Replicas:   replicasOf(p),
 		// Live mask: a propagation completing while this read queues can
-		// change which replicas are fresh.
+		// change which replicas are fresh (and a verify check can condemn
+		// one).
 		AllowedFn: func(j int) bool {
-			m := a.freshMask(src, c)
+			m := a.readMask(src, c)
 			return m == nil || m[j]
 		},
 	}
 	req.Tag = &reqTag{
-		onDone: func(bus.Completion, int) {
+		onDone: func(last bus.Completion, chosen int) {
 			if st.cancelled {
 				return
 			}
-			a.writeRebuildCopies(st, c, p)
+			// A verified rebuild refuses a corrupt source: condemn the copy
+			// (queueing its repair) and re-pick — the mask now excludes it.
+			// Unverified, the reconstruction faithfully copies the garbage
+			// and the rebuilt replicas inherit the poison.
+			bad := a.integrity && a.checkPieceRead(src, p, chosen, last)
+			if bad && a.opts.VerifyReads {
+				a.noteDetected(src, p, chosen)
+				a.readForRebuild(st, c, p)
+				return
+			}
+			a.writeRebuildCopies(st, c, p, bad)
 		},
 		onFail: func() {
 			if st.cancelled {
@@ -334,8 +345,10 @@ func (a *Array) readForRebuild(st *rebuildState, c int64, p *layout.Piece) {
 
 // writeRebuildCopies queues the chunk's Dr replica writes onto the spare
 // through the delayed-write machinery; the shared entry's completion
-// finishes the chunk.
-func (a *Array) writeRebuildCopies(st *rebuildState, c int64, p *layout.Piece) {
+// finishes the chunk. poison marks copies reconstructed from a corrupt
+// source (they land as garbage). The write gate is held for the whole
+// chunk, so the committed version cannot advance under these copies.
+func (a *Array) writeRebuildCopies(st *rebuildState, c int64, p *layout.Piece, poison bool) {
 	spare := a.drives[st.slot]
 	entry := &propEntry{onAllDone: func() {
 		if st.cancelled {
@@ -343,10 +356,12 @@ func (a *Array) writeRebuildCopies(st *rebuildState, c int64, p *layout.Piece) {
 		}
 		a.finishChunk(st, c)
 	}}
+	ver := a.committed[c]
 	for j := 0; j < a.opts.Config.Dr; j++ {
 		spare.delayed = append(spare.delayed, &delayedCopy{
 			entry: entry, replica: j, extents: p.Replicas[j],
 			chunk: c, off: p.Off, count: p.Count, rebuild: true,
+			poison: poison, ver: ver,
 		})
 		entry.remaining++
 	}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/sched"
+)
+
+// The background scrubber closes the window verify-on-read leaves open:
+// verification only touches data somebody reads, so a latent error in a
+// cold chunk sits undetected until the day its mirror fails and the
+// rebuild copies garbage. The scrubber walks every drive's chunk copies in
+// cylinder order (chunks of a slot ascend physically), issuing
+// Background-class verify reads that yield to foreground traffic, paced to
+// a bandwidth cap exactly like rebuild reconstruction, and stepping aside
+// entirely while any foreground queue crosses the half-depth overload
+// threshold. A divergent copy is condemned, a clean source is re-read (the
+// repair data has to come from somewhere), and the rewrite rides the
+// delayed-write machinery as an in-place repair.
+//
+// One verify read is in flight at a time: the scan is a serial chain
+// (issue -> complete -> pace -> issue), so the scrubber's foreground
+// interference is bounded by a single Background command per array plus
+// the paced repair writes.
+
+// DefaultScrubMBps paces a scrubber that sets no explicit rate: gentle
+// enough to hide under foreground traffic, fast enough to cover a
+// prototype-sized volume in minutes of simulated time.
+const DefaultScrubMBps = 4.0
+
+// ScrubOptions configures the background scrubber.
+type ScrubOptions struct {
+	// Enabled starts the scrubber at array construction (via
+	// Options.Scrub). StartScrub ignores it.
+	Enabled bool
+	// MBps caps the verify-read bandwidth per pass; 0 means
+	// DefaultScrubMBps.
+	MBps float64
+	// Passes is how many full passes to run before the scrubber retires;
+	// 0 means 1.
+	Passes int
+}
+
+func (o ScrubOptions) validate() error {
+	if o.MBps < 0 {
+		return fmt.Errorf("core: negative scrub bandwidth %v", o.MBps)
+	}
+	if o.Passes < 0 {
+		return fmt.Errorf("core: negative scrub pass count %d", o.Passes)
+	}
+	return nil
+}
+
+// ScrubCounters reports the scrubber's activity. Every cursor step ends in
+// exactly one of Verified, Corrupt, Skipped, or Faulted; every Corrupt
+// ends in one of RepairsQueued or Unrepairable, and every queued repair in
+// Repaired or RepairsDropped.
+type ScrubCounters struct {
+	// Verified counts chunk copies read and found clean.
+	Verified int64
+	// Corrupt counts copies the verify check condemned.
+	Corrupt int64
+	// RepairsQueued/Repaired/RepairsDropped track the in-place rewrites of
+	// condemned copies; Unrepairable counts condemnations with no clean
+	// source left.
+	RepairsQueued  int64
+	Repaired       int64
+	RepairsDropped int64
+	Unrepairable   int64
+	// Skipped counts copies the scan stepped over without reading: failed
+	// or rebuilding-missing chunks, propagation-stale replicas (about to
+	// be rewritten anyway), and chunks whose write gate is held.
+	Skipped int64
+	// Faulted counts verify reads abandoned to injected faults or drive
+	// failures.
+	Faulted int64
+	// Passes counts completed full passes.
+	Passes int64
+}
+
+// ScrubProgress describes the active scrub pass.
+type ScrubProgress struct {
+	Active bool
+	// Pass is the 1-based pass number.
+	Pass int
+	// Done and Total count chunk copies of the current pass.
+	Done, Total int64
+}
+
+// scrubCursor is one slot's scan position: copy (chunkIndex n, replica
+// rep), where the slot's n-th chunk is slot%G + n*G. Keyed by slot, not
+// drive, so a spare swapped in mid-pass inherits the cursor and nothing is
+// stranded.
+type scrubCursor struct {
+	n   int64
+	rep int
+}
+
+// scrubState is one scrubber run (possibly several passes).
+type scrubState struct {
+	opts ScrubOptions
+	// cur holds each slot's cursor; slot is the next slot to step
+	// (round-robin across slots spreads the verify load).
+	cur  []scrubCursor
+	slot int
+	// pass is the 0-based pass index; done retires the scrubber.
+	pass int
+	done bool
+	// passDone/passTotal count chunk copies for progress reporting.
+	passDone  int64
+	passTotal int64
+	// nextAt paces issuance to the bandwidth cap, as rebuildState does.
+	nextAt des.Time
+}
+
+// slotChunks returns how many chunks live on a slot.
+func (a *Array) slotChunks(slot int) int64 {
+	g := int64(a.opts.Config.Positions())
+	unit := int64(a.lay.StripeUnit())
+	numChunks := (a.lay.DataSectors() + unit - 1) / unit
+	first := int64(slot % a.opts.Config.Positions())
+	if first >= numChunks {
+		return 0
+	}
+	return (numChunks - first + g - 1) / g
+}
+
+// StartScrub begins a scrubber run. It turns the integrity oracle on (a
+// scrub of an array that cannot corrupt data verifies everything clean,
+// which is still an honest answer). Exactly one run at a time.
+func (a *Array) StartScrub(o ScrubOptions) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
+	if a.scrub != nil && !a.scrub.done {
+		return fmt.Errorf("core: scrub already running")
+	}
+	if o.MBps == 0 {
+		o.MBps = DefaultScrubMBps
+	}
+	if o.Passes == 0 {
+		o.Passes = 1
+	}
+	a.ensureIntegrity()
+	s := &scrubState{opts: o, cur: make([]scrubCursor, len(a.drives)), nextAt: a.sim.Now()}
+	for slot := range a.drives {
+		s.passTotal += a.slotChunks(slot) * int64(a.opts.Config.Dr)
+	}
+	a.scrub = s
+	a.scrubNext()
+	return nil
+}
+
+// ScrubCounters returns a snapshot of the scrubber counters (cumulative
+// across runs).
+func (a *Array) ScrubCounters() ScrubCounters { return a.scrubCtr }
+
+// ScrubProgress returns a snapshot of the active pass (zero value when no
+// scrubber is running).
+func (a *Array) ScrubProgress() ScrubProgress {
+	s := a.scrub
+	if s == nil || s.done {
+		return ScrubProgress{}
+	}
+	return ScrubProgress{Active: true, Pass: s.pass + 1, Done: s.passDone, Total: s.passTotal}
+}
+
+// scrubInterval is the pacing delay one chunk's verify read earns at the
+// bandwidth cap.
+func (a *Array) scrubInterval(c int64) des.Time {
+	unit := int64(a.lay.StripeUnit())
+	count := unit
+	if rest := a.lay.DataSectors() - c*unit; rest < count {
+		count = rest
+	}
+	return des.Time(float64(count*disk.SectorSize) / a.scrub.opts.MBps)
+}
+
+// scrubNext schedules the next cursor step no earlier than the pacing
+// allows.
+func (a *Array) scrubNext() {
+	s := a.scrub
+	if s == nil || s.done {
+		return
+	}
+	now := a.sim.Now()
+	at := s.nextAt
+	if at < now {
+		at = now
+	}
+	if at > now {
+		a.sim.At(at, func() { a.scrubTick(s) })
+		return
+	}
+	a.scrubTick(s)
+}
+
+// scrubTick advances the scan by one chunk copy: pick the next unexhausted
+// slot cursor, charge the pacing, and issue (or skip) the verify read. The
+// chain continues from the read's completion.
+func (a *Array) scrubTick(s *scrubState) {
+	if s.done || s != a.scrub {
+		return
+	}
+	// Foreground saturation pauses the scan entirely (same half-depth
+	// predicate that throttles delayed propagation and rebuild starts).
+	if a.overloaded() {
+		a.sim.At(a.sim.Now()+throttleRecheck, func() { a.scrubTick(s) })
+		return
+	}
+	// Find the next slot with work, round-robin from s.slot.
+	slot := -1
+	for i := 0; i < len(s.cur); i++ {
+		cand := (s.slot + i) % len(s.cur)
+		if s.cur[cand].n < a.slotChunks(cand) {
+			slot = cand
+			break
+		}
+	}
+	if slot < 0 {
+		a.scrubPassDone(s)
+		return
+	}
+	cur := &s.cur[slot]
+	g := int64(a.opts.Config.Positions())
+	chunk := int64(slot%a.opts.Config.Positions()) + cur.n*g
+	rep := cur.rep
+	// Advance: next replica of the chunk, then the slot's next chunk; the
+	// round-robin pointer moves on either way.
+	cur.rep++
+	if cur.rep >= a.opts.Config.Dr {
+		cur.rep = 0
+		cur.n++
+	}
+	s.slot = (slot + 1) % len(s.cur)
+	s.passDone++
+	s.nextAt = a.sim.Now() + a.scrubInterval(chunk)
+
+	d := a.drives[slot]
+	_, gated := a.writeGate[chunk]
+	skip := d.failed || d.unreadable(chunk) || gated
+	if !skip {
+		if m := a.freshMask(d, chunk); m != nil && !m[rep] {
+			// A pending propagation will rewrite this copy anyway.
+			skip = true
+		}
+	}
+	if skip {
+		a.scrubCtr.Skipped++
+		a.scrubNext()
+		return
+	}
+	a.issueScrubRead(s, d, slot, chunk, rep)
+}
+
+// issueScrubRead reads one chunk copy (Background class, pinned to the
+// replica under test) and consults the oracle on completion.
+func (a *Array) issueScrubRead(s *scrubState, d *drive, slot int, chunk int64, rep int) {
+	p := a.chunkPiece(chunk)
+	req := &sched.Request{
+		ID:         a.nextID(),
+		Arrive:     a.sim.Now(),
+		Background: true,
+		Replicas:   []sched.Replica{{Extents: p.Replicas[rep]}},
+	}
+	req.Tag = &reqTag{
+		onDone: func(last bus.Completion, _ int) {
+			if d.failed {
+				// The drive died under the read; its copies are gone, not
+				// corrupt.
+				a.scrubCtr.Skipped++
+				a.scrubNext()
+				return
+			}
+			if a.checkPieceRead(d, p, rep, last) {
+				a.scrubCtr.Corrupt++
+				if a.obsRec != nil {
+					a.obsRec.ScrubCorrupt++
+				}
+				a.scrubSourceRead(s, d, chunk, rep)
+				return
+			}
+			a.scrubCtr.Verified++
+			if a.obsRec != nil {
+				a.obsRec.ScrubVerified++
+			}
+			a.scrubNext()
+		},
+		onFail: func() {
+			a.scrubCtr.Faulted++
+			a.scrubNext()
+		},
+	}
+	a.enqueue(d, req)
+}
+
+// scrubSourceRead condemns the divergent copy and fetches the repair data
+// from a clean source before queueing the in-place rewrite — the repair
+// has to read the good data from somewhere, and that read is itself
+// verified.
+func (a *Array) scrubSourceRead(s *scrubState, d *drive, chunk int64, rep int) {
+	if !a.condemnWrong(d, chunk, rep, true) {
+		// Transient path corruption (the media is fine) or a copy already
+		// condemned with a repair pending: nothing further to do.
+		a.scrubNext()
+		return
+	}
+	// condemnWrong queued the repair (or counted it unrepairable); now pay
+	// for the source read that supplies the data. The repair write itself
+	// drains through the delayed queue.
+	p := a.chunkPiece(chunk)
+	var src *drive
+	srcRep := -1
+	for _, id := range p.Mirrors {
+		q := a.drives[id]
+		if q.failed || q.unreadable(chunk) {
+			continue
+		}
+		mask := a.readMask(q, chunk)
+		for j := 0; j < a.opts.Config.Dr; j++ {
+			if q == d && j == rep {
+				continue
+			}
+			if mask != nil && !mask[j] {
+				continue
+			}
+			src, srcRep = q, j
+			break
+		}
+		if src != nil {
+			break
+		}
+	}
+	if src == nil {
+		a.scrubNext()
+		return
+	}
+	req := &sched.Request{
+		ID:         a.nextID(),
+		Arrive:     a.sim.Now(),
+		Background: true,
+		Replicas:   []sched.Replica{{Extents: p.Replicas[srcRep]}},
+	}
+	req.Tag = &reqTag{
+		onDone: func(last bus.Completion, _ int) {
+			if !src.failed && a.checkPieceRead(src, p, srcRep, last) {
+				// The would-be source is divergent too: condemn it and keep
+				// looking.
+				a.scrubCtr.Corrupt++
+				if a.obsRec != nil {
+					a.obsRec.ScrubCorrupt++
+				}
+				a.scrubSourceRead(s, src, chunk, srcRep)
+				return
+			}
+			a.scrubNext()
+		},
+		onFail: func() {
+			a.scrubCtr.Faulted++
+			a.scrubNext()
+		},
+	}
+	a.enqueue(src, req)
+}
+
+// scrubPassDone retires a finished pass: rewind the cursors for the next
+// one, or retire the scrubber.
+func (a *Array) scrubPassDone(s *scrubState) {
+	a.scrubCtr.Passes++
+	if a.obsRec != nil {
+		a.obsRec.ScrubPasses++
+	}
+	s.pass++
+	if s.pass >= s.opts.Passes {
+		s.done = true
+		return
+	}
+	for i := range s.cur {
+		s.cur[i] = scrubCursor{}
+	}
+	s.slot = 0
+	s.passDone = 0
+	a.scrubNext()
+}

@@ -60,10 +60,31 @@ type FaultModel struct {
 	// drive keeps answering, just slower — persistently, in stutter
 	// windows, or both. Nil or empty means every drive runs at full speed.
 	Slow map[int]SlowProfile
+
+	// LatentRate is the per-read-command probability that the media under
+	// the command has rotted (a latent sector error): the read completes
+	// with good status but returns garbage, and the copy stays bad until
+	// rewritten. Only an end-to-end integrity check above the bus can
+	// notice.
+	LatentRate float64
+	// CorruptRate is the per-read-command probability of transient path
+	// corruption (a misdirected or bit-flipped transfer): the read returns
+	// garbage once, but the media itself is fine and a reissue reads clean.
+	CorruptRate float64
+	// TornRate is the per-write-command probability of a torn write: the
+	// command reports success but the copy on the platter is garbage, and
+	// stays garbage until rewritten.
+	TornRate float64
 }
 
 // Enabled reports whether the model can ever produce a fault.
 func (m FaultModel) Enabled() bool { return m.TransientRate > 0 || m.TimeoutRate > 0 }
+
+// CorruptionEnabled reports whether the model can ever corrupt data
+// silently.
+func (m FaultModel) CorruptionEnabled() bool {
+	return m.LatentRate > 0 || m.CorruptRate > 0 || m.TornRate > 0
+}
 
 // SlowFor returns drive i's fail-slow profile (zero value when none).
 func (m FaultModel) SlowFor(i int) SlowProfile { return m.Slow[i] }
@@ -129,6 +150,18 @@ func (m FaultModel) Validate() error {
 	if m.TimeoutDelay < 0 {
 		return fmt.Errorf("disk: negative fault timeout %v", m.TimeoutDelay)
 	}
+	if m.LatentRate < 0 || m.LatentRate > 0.5 {
+		return fmt.Errorf("disk: latent error rate %v outside [0, 0.5]", m.LatentRate)
+	}
+	if m.CorruptRate < 0 || m.CorruptRate > 0.5 {
+		return fmt.Errorf("disk: corruption rate %v outside [0, 0.5]", m.CorruptRate)
+	}
+	if m.TornRate < 0 || m.TornRate > 0.5 {
+		return fmt.Errorf("disk: torn write rate %v outside [0, 0.5]", m.TornRate)
+	}
+	if m.LatentRate+m.CorruptRate >= 0.9 {
+		return fmt.Errorf("disk: combined read corruption rate %v too close to certainty", m.LatentRate+m.CorruptRate)
+	}
 	for i, p := range m.Slow {
 		if i < 0 {
 			return fmt.Errorf("disk: slow profile for negative drive index %d", i)
@@ -179,6 +212,43 @@ func (fi *FaultInjector) Draw() FaultKind {
 		return FaultTransient
 	}
 	return FaultNone
+}
+
+// CorruptionInjector draws silent-corruption events for one drive from
+// its own seeded stream, independent of the fault and slow streams
+// (enabling corruption never perturbs which commands fault or stutter).
+type CorruptionInjector struct {
+	model FaultModel
+	rng   *rand.Rand
+}
+
+// NewCorruptionInjector builds an injector for a validated model. A nil
+// return means the model never corrupts (callers skip the draw entirely).
+func NewCorruptionInjector(m FaultModel, seed int64) *CorruptionInjector {
+	if !m.CorruptionEnabled() {
+		return nil
+	}
+	return &CorruptionInjector{model: m, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Model returns the injector's configuration.
+func (ci *CorruptionInjector) Model() FaultModel { return ci.model }
+
+// Draw decides the silent fate of one command: exactly one uniform
+// variate per command regardless of opcode, deterministic in command
+// order. Reads draw latent-vs-transient corruption; writes draw tearing.
+func (ci *CorruptionInjector) Draw(write bool) (latent, corrupt, torn bool) {
+	f := ci.rng.Float64()
+	if write {
+		return false, false, f < ci.model.TornRate
+	}
+	if f < ci.model.LatentRate {
+		return true, false, false
+	}
+	if f < ci.model.LatentRate+ci.model.CorruptRate {
+		return false, true, false
+	}
+	return false, false, false
 }
 
 // SlowState realizes one drive's SlowProfile: the persistent inflation

@@ -50,6 +50,13 @@ func TestParallelMatchesSequential(t *testing.T) {
 			}
 			return f.Render(), nil
 		}},
+		{"scrub", func() (string, error) {
+			f, err := Scrub(cfg)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
 	}
 	for _, c := range cases {
 		c := c

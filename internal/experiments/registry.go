@@ -61,6 +61,7 @@ var Registry = map[string]Runner{
 	"ablation-opportunistic": figRunner(AblationOpportunistic),
 	"degraded-rebuild":       figRunner(DegradedRebuild),
 	"fail-slow":              figRunner(FailSlow),
+	"scrub":                  figRunner(Scrub),
 }
 
 func figRunner(f func(Config) (*Figure, error)) Runner {

@@ -224,6 +224,12 @@ type DriveMetrics struct {
 	// window. Both zero for healthy drives.
 	SlowUS   int64
 	Stutters int64
+	// Silent-corruption injections surfaced on this drive's otherwise
+	// clean completions: latent sector errors, transient path corruption,
+	// and torn writes.
+	LatentErrors int64
+	CorruptReads int64
+	TornWrites   int64
 	// Health samples the drive's tracked health state (core's
 	// Healthy=0 / Suspect=1 / Evicted=2) at each transition.
 	Health Gauge
@@ -321,6 +327,20 @@ func (m *DriveMetrics) Slow(by des.Time, stutter bool) {
 	}
 }
 
+// Corruption attributes one clean command's silent-corruption draws to
+// the drive.
+func (m *DriveMetrics) Corruption(latent, corrupt, torn bool) {
+	if latent {
+		m.LatentErrors++
+	}
+	if corrupt {
+		m.CorruptReads++
+	}
+	if torn {
+		m.TornWrites++
+	}
+}
+
 func (m *DriveMetrics) merge(o *DriveMetrics) {
 	for c := 0; c < int(NumClasses); c++ {
 		for op := 0; op < int(NumOps); op++ {
@@ -339,6 +359,9 @@ func (m *DriveMetrics) merge(o *DriveMetrics) {
 	m.Timeouts += o.Timeouts
 	m.SlowUS += o.SlowUS
 	m.Stutters += o.Stutters
+	m.LatentErrors += o.LatentErrors
+	m.CorruptReads += o.CorruptReads
+	m.TornWrites += o.TornWrites
 	m.Health.merge(&o.Health)
 }
 
@@ -422,6 +445,20 @@ type Recorder struct {
 	ShedOverload int64
 	ShedDeadline int64
 	Evictions    int64
+
+	// Silent-corruption tolerance: SilentReads counts reads that returned
+	// corrupt data with verification off, VerifyDetected the reads
+	// verify-on-read failed over, ReadRepairs the in-place repairs those
+	// detections completed. The Scrub* counters mirror the background
+	// scrubber's chunk verifications, detections, repairs, and finished
+	// passes.
+	SilentReads    int64
+	VerifyDetected int64
+	ReadRepairs    int64
+	ScrubVerified  int64
+	ScrubCorrupt   int64
+	ScrubRepaired  int64
+	ScrubPasses    int64
 }
 
 // Label returns the recorder's registry label.
@@ -456,4 +493,11 @@ func (r *Recorder) merge(o *Recorder) {
 	r.ShedOverload += o.ShedOverload
 	r.ShedDeadline += o.ShedDeadline
 	r.Evictions += o.Evictions
+	r.SilentReads += o.SilentReads
+	r.VerifyDetected += o.VerifyDetected
+	r.ReadRepairs += o.ReadRepairs
+	r.ScrubVerified += o.ScrubVerified
+	r.ScrubCorrupt += o.ScrubCorrupt
+	r.ScrubRepaired += o.ScrubRepaired
+	r.ScrubPasses += o.ScrubPasses
 }

@@ -104,6 +104,9 @@ type driveJSON struct {
 	Timeouts    int64         `json:"timeouts,omitempty"`
 	SlowUS      int64         `json:"slow_us,omitempty"`
 	Stutters    int64         `json:"stutters,omitempty"`
+	Latent      int64         `json:"latent_errors,omitempty"`
+	Corrupt     int64         `json:"corrupt_reads,omitempty"`
+	Torn        int64         `json:"torn_writes,omitempty"`
 	Health      *gaugeJSON    `json:"health,omitempty"`
 	Picks       int64         `json:"picks,omitempty"`
 	PredictedUS int64         `json:"predicted_us,omitempty"`
@@ -124,6 +127,13 @@ type recorderJSON struct {
 	ShedOverload    int64       `json:"shed_overload,omitempty"`
 	ShedDeadline    int64       `json:"shed_deadline,omitempty"`
 	Evictions       int64       `json:"evictions,omitempty"`
+	SilentReads     int64       `json:"silent_reads,omitempty"`
+	VerifyDetected  int64       `json:"verify_detected,omitempty"`
+	ReadRepairs     int64       `json:"read_repairs,omitempty"`
+	ScrubVerified   int64       `json:"scrub_verified,omitempty"`
+	ScrubCorrupt    int64       `json:"scrub_corrupt,omitempty"`
+	ScrubRepaired   int64       `json:"scrub_repaired,omitempty"`
+	ScrubPasses     int64       `json:"scrub_passes,omitempty"`
 	Drives          []driveJSON `json:"drives"`
 }
 
@@ -167,6 +177,13 @@ func (g *Registry) Snapshot() ([]byte, error) {
 			ShedOverload:    r.ShedOverload,
 			ShedDeadline:    r.ShedDeadline,
 			Evictions:       r.Evictions,
+			SilentReads:     r.SilentReads,
+			VerifyDetected:  r.VerifyDetected,
+			ReadRepairs:     r.ReadRepairs,
+			ScrubVerified:   r.ScrubVerified,
+			ScrubCorrupt:    r.ScrubCorrupt,
+			ScrubRepaired:   r.ScrubRepaired,
+			ScrubPasses:     r.ScrubPasses,
 		}
 		for i := range r.drives {
 			d := &r.drives[i]
@@ -180,6 +197,9 @@ func (g *Registry) Snapshot() ([]byte, error) {
 				Timeouts:    d.Timeouts,
 				SlowUS:      d.SlowUS,
 				Stutters:    d.Stutters,
+				Latent:      d.LatentErrors,
+				Corrupt:     d.CorruptReads,
+				Torn:        d.TornWrites,
 				Health:      gaugeOut(&d.Health),
 				Picks:       d.Picks,
 				PredictedUS: d.PredictedUS,

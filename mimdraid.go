@@ -133,6 +133,17 @@ type HedgeCounters = core.HedgeCounters
 // ShedCounters reports admission-control activity, from Array.Sheds.
 type ShedCounters = core.ShedCounters
 
+// ScrubOptions configures the paced background scrubber (Options.Scrub,
+// or started mid-run with Array.StartScrub).
+type ScrubOptions = core.ScrubOptions
+
+// ScrubCounters reports scrubber activity, from Array.ScrubCounters.
+type ScrubCounters = core.ScrubCounters
+
+// ScrubProgress snapshots the active scrub pass, from
+// Array.ScrubProgress.
+type ScrubProgress = core.ScrubProgress
+
 // Typed failure causes carried by Result.Err; test with errors.Is.
 var (
 	// ErrDriveIndex reports a drive index outside the array.
@@ -148,6 +159,9 @@ var (
 	// ErrDeadlineExceeded reports a read that waited out
 	// Options.ReadDeadline in a queue without being dispatched.
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	// ErrCorruptData reports a verified read that found every reachable
+	// replica known-corrupt (repair queued where possible).
+	ErrCorruptData = core.ErrCorruptData
 )
 
 // DiskSpec describes a drive model in datasheet terms.

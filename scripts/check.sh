@@ -9,3 +9,10 @@ go build ./...
 go vet ./...
 go test -race ./...
 go test -shuffle=on ./...
+# The corruption/scrub/hedge composition tests exercise the most
+# cross-subsystem state; run them twice under the race detector to
+# catch order-dependent residue the single pass can miss.
+go test -race -count=2 -run 'TestScrub|TestCorruption|TestSilent|TestLatent|TestTorn|TestHedgeFault' ./internal/core
+# Fuzz smoke: a short bounded run of the NVRAM snapshot decoder fuzzer
+# (the seed corpus alone regression-tests the known crashers).
+go test -run '^$' -fuzz '^FuzzAdoptNVRAM$' -fuzztime 5s ./internal/core

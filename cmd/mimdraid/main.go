@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/des"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -39,9 +40,12 @@ func main() {
 		timing     = flag.Bool("time", false, "print wall time per experiment")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"simulation jobs to run concurrently (1 = sequential; results are identical at any setting)")
+		shards = flag.Int("shards", runtime.GOMAXPROCS(0),
+			"epoch workers for sharded multi-brick simulations like -exp bigarray (1 = the sequential legacy path; results are identical at any setting)")
 	)
 	flag.Parse()
 	runner.SetParallelism(*parallel)
+	des.SetShardWorkers(*shards)
 
 	if *pprofAddr != "" {
 		go func() {

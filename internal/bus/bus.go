@@ -170,14 +170,79 @@ type Drive struct {
 	tcqDepth int
 	tcq      []tcqEntry
 
+	// freePending recycles completion-event carriers.
+	freePending *pending
+
 	// Stats
 	Commands int64
 	BusyTime des.Time
 }
 
 type tcqEntry struct {
-	cmd  Command
-	done func(Completion)
+	cmd   Command
+	h     CompletionHandler
+	token uint64
+}
+
+// CompletionHandler receives completions without a per-command closure: an
+// implementation is a long-lived (typically pooled) request context, and
+// the token — echoed back verbatim — lets one handler serve many
+// outstanding commands. This is the allocation-free submission form; the
+// closure-based Submit wraps it.
+type CompletionHandler interface {
+	OnCompletion(token uint64, comp Completion)
+}
+
+// funcHandler adapts a closure to CompletionHandler for the compat Submit
+// path (costs an interface-boxing allocation per call; hot paths use
+// SubmitHandled directly).
+type funcHandler struct{ fn func(Completion) }
+
+func (h funcHandler) OnCompletion(_ uint64, c Completion) { h.fn(c) }
+
+// pending is a pooled in-flight completion event: one per command, recycled
+// through the drive's free list the moment it fires, so steady-state
+// submission schedules zero allocations.
+type pending struct {
+	d     *Drive
+	h     CompletionHandler
+	token uint64
+	comp  Completion
+	next  *pending
+}
+
+func (d *Drive) getPending() *pending {
+	p := d.freePending
+	if p == nil {
+		return &pending{d: d}
+	}
+	d.freePending = p.next
+	p.next = nil
+	return p
+}
+
+// firePending is the single long-lived event function for every drive
+// completion (scheduled with des.Sim.AtArg). Order matters and mirrors the
+// original closure: release the mechanism, account busy time, start the
+// next tagged command, then deliver the completion — so the handler
+// observes the drive already advanced, exactly as before.
+func firePending(a any) {
+	p := a.(*pending)
+	d := p.d
+	comp := p.comp
+	h, token := p.h, p.token
+	d.arm = comp.ArmAfter
+	d.busy = false
+	d.BusyTime += comp.Observed - comp.Submitted
+	if len(d.tcq) > 0 {
+		next := d.pickTCQ()
+		d.start(next.cmd, next.h, next.token)
+	}
+	p.h = nil
+	p.comp = Completion{}
+	p.next = d.freePending
+	d.freePending = p
+	h.OnCompletion(token, comp)
 }
 
 const defaultXferRate = 160e6 / 1e6 // 160 MB/s in bytes per microsecond
@@ -307,6 +372,13 @@ func physOf(dsk *disk.Disk, cmd Command) disk.Request {
 // the firmware. done is invoked through the simulator at the
 // host-observed completion time.
 func (d *Drive) Submit(cmd Command, done func(Completion)) {
+	d.SubmitHandled(cmd, funcHandler{done}, 0)
+}
+
+// SubmitHandled is Submit with a pre-bound handler and context token in
+// place of a closure: the hot-path form, which allocates nothing per
+// command. Semantics are otherwise identical to Submit.
+func (d *Drive) SubmitHandled(cmd Command, h CompletionHandler, token uint64) {
 	if cmd.Count <= 0 {
 		panic(fmt.Sprintf("bus: command with count %d", cmd.Count))
 	}
@@ -314,14 +386,14 @@ func (d *Drive) Submit(cmd Command, done func(Completion)) {
 		if d.Free() == 0 {
 			panic(fmt.Sprintf("bus: Submit on busy drive %s with no free tags", d.Name))
 		}
-		d.tcq = append(d.tcq, tcqEntry{cmd: cmd, done: done})
+		d.tcq = append(d.tcq, tcqEntry{cmd: cmd, h: h, token: token})
 		return
 	}
-	d.start(cmd, done)
+	d.start(cmd, h, token)
 }
 
 // start runs one command on the idle mechanism.
-func (d *Drive) start(cmd Command, done func(Completion)) {
+func (d *Drive) start(cmd Command, h CompletionHandler, token uint64) {
 	d.busy = true
 	d.Commands++
 	now := d.sim.Now()
@@ -346,16 +418,12 @@ func (d *Drive) start(cmd Command, done func(Completion)) {
 		// expires, which is when the drive becomes usable again (the real
 		// recovery would be an abort/reset cycle).
 		observed := now + d.faults.Model().Timeout()
-		comp := Completion{Cmd: cmd, Submitted: now, Observed: observed, Fault: fault, ArmAfter: d.arm}
-		d.sim.At(observed, func() {
-			d.busy = false
-			d.BusyTime += observed - now
-			if len(d.tcq) > 0 {
-				next := d.pickTCQ()
-				d.start(next.cmd, next.done)
-			}
-			done(comp)
-		})
+		p := d.getPending()
+		p.h, p.token = h, token
+		// ArmAfter = the unmoved arm: firePending's unconditional arm update
+		// is a no-op here, as the mechanism never serviced anything.
+		p.comp = Completion{Cmd: cmd, Submitted: now, Observed: observed, Fault: fault, ArmAfter: d.arm}
+		d.sim.AtArg(observed, firePending, p)
 		return
 	}
 
@@ -384,7 +452,9 @@ func (d *Drive) start(cmd Command, done func(Completion)) {
 		slowBy, stutter = d.slow.Inflate(mechStart, tm.Done-mechStart)
 	}
 	observed := tm.Done + slowBy + xfer + post
-	comp := Completion{
+	p := d.getPending()
+	p.h, p.token = h, token
+	p.comp = Completion{
 		Cmd:       cmd,
 		Submitted: now,
 		Observed:  observed,
@@ -399,14 +469,5 @@ func (d *Drive) start(cmd Command, done func(Completion)) {
 		Timing:    tm,
 		ArmAfter:  tm.End,
 	}
-	d.sim.At(observed, func() {
-		d.arm = tm.End
-		d.busy = false
-		d.BusyTime += observed - now
-		if len(d.tcq) > 0 {
-			next := d.pickTCQ()
-			d.start(next.cmd, next.done)
-		}
-		done(comp)
-	})
+	d.sim.AtArg(observed, firePending, p)
 }

@@ -242,6 +242,24 @@ type Array struct {
 	// was not set (the common case — hot paths check the per-drive rec
 	// pointer instead of this).
 	obsRec *obs.Recorder
+
+	// Free lists backing the zero-allocation submit/dispatch path (see
+	// pool.go). The array runs on one goroutine (its Sim), so no locking.
+	freeReqs        *pooledReq
+	freeRuns        *extentRun
+	freeURs         *userRequest
+	freeFGs         *fgWrite
+	freeCopies      *delayedCopy
+	freeEntries     *propEntry
+	freeChunkStates *chunkState
+	// touched is registerPropagation's reusable drive set.
+	touched []*drive
+
+	// deferKicks batches drive kicks during SubmitBatch: enqueues record
+	// their drive in pendingKicks (once each) and the batch flush kicks
+	// them in first-touch order.
+	deferKicks   bool
+	pendingKicks []*drive
 }
 
 // Breakdown decomposes foreground service time into its mechanical
@@ -307,6 +325,12 @@ type drive struct {
 	lastActive des.Time
 	// recheckAt dedups scheduled idle-gate rechecks.
 	recheckAt des.Time
+	// kickFn is the drive's cached kick callback, so recheck events
+	// schedule without allocating a closure per event.
+	kickFn func()
+	// kickPending marks the drive as already recorded in the array's
+	// deferred-kick list during a SubmitBatch.
+	kickPending bool
 
 	// Fail-slow health tracking (see health.go). ewmaUS smooths the
 	// drive's clean foreground service times; healthN counts the samples
@@ -431,6 +455,7 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 			return nil, err
 		}
 		d := &drive{id: i, dsk: dsk, sched: sc, stale: make(map[int64]*chunkState)}
+		d.kickFn = func() { a.kick(d) }
 		if opts.Prototype {
 			d.bus = bus.NewPrototype(sim, dsk, noise, opts.Seed+int64(i)*7919+1)
 			post := noise.PostBase + noise.PostJitter + des.Time(float64(disk.SectorSize)/(160e6/1e6))
@@ -577,22 +602,33 @@ func (a *Array) nextID() uint64 {
 // array rejects the request synchronously with ErrOverload (done is never
 // invoked) — callers shed load instead of deepening a saturated queue.
 func (a *Array) Submit(op Op, off int64, count int, async bool, done func(Result)) error {
-	pieces, err := a.lay.Resolve(off, count)
+	ur := a.getUR()
+	pieces, err := a.lay.ResolveArena(off, count, &ur.arena)
 	if err != nil {
+		a.putUR(ur)
 		return err
 	}
 	if a.opts.MaxQueueDepth > 0 {
 		if err := a.admit(op, pieces); err != nil {
+			a.putUR(ur)
 			return err
 		}
 	}
 	if op == Read {
-		pieces = a.mergeReadPieces(pieces)
+		pieces = a.mergeReadPieces(ur, pieces)
 	}
-	ur := &userRequest{
-		op: op, off: off, count: count, async: async,
-		submit: a.sim.Now(), done: done, remaining: len(pieces), a: a,
-	}
+	ur.op, ur.off, ur.count, ur.async = op, off, count, async
+	ur.submit = a.sim.Now()
+	ur.done = done
+	ur.remaining = len(pieces)
+	// The resolved extents outlive the request's completion in three cases,
+	// which fall back to the garbage collector: delayed-mode writes park
+	// arena extents in delayedCopies until propagation lands; a hedged read
+	// can leave its duplicate in flight past the primary's completion; and
+	// with the integrity oracle on, repair machinery is kept conservative.
+	ur.noRecycle = a.opts.Hedge || a.integrity ||
+		(op == Write && !a.opts.ForegroundWrites)
+	ur.submitting = true
 	for i := range pieces {
 		p := &pieces[i]
 		if op == Read {
@@ -601,7 +637,68 @@ func (a *Array) Submit(op Op, off int64, count int, async bool, done func(Result
 			a.submitWrite(ur, p)
 		}
 	}
+	ur.submitting = false
+	if ur.remaining == 0 && ur.pooled && !ur.noRecycle {
+		// Every piece resolved synchronously (failure paths); pieceDone
+		// deferred the recycle to us.
+		a.putUR(ur)
+	}
 	return nil
+}
+
+// BatchOp is one operation of a SubmitBatch.
+type BatchOp struct {
+	Op    Op
+	Off   int64
+	Count int
+	Async bool
+	// Done runs at the operation's completion, like Submit's done.
+	Done func(Result)
+}
+
+// SubmitBatch issues a batch of logical I/Os with amortized dispatch:
+// every operation is validated, resolved, and routed into the drive queues
+// first, and each touched drive is kicked exactly once at the end, so the
+// per-drive schedulers see the whole batch instead of scheduling after
+// every operation. Closed-loop drivers priming many outstanding requests
+// and clients carrying queues of accumulated work get one scheduling pass
+// per drive instead of one per operation.
+//
+// Operations are submitted in order. The first error stops the batch;
+// already-routed operations stay submitted (their Done callbacks will
+// run), and the count of successfully submitted operations is returned
+// with the error.
+func (a *Array) SubmitBatch(ops []BatchOp) (int, error) {
+	if a.deferKicks {
+		panic("core: SubmitBatch reentered")
+	}
+	a.deferKicks = true
+	n := 0
+	var err error
+	for i := range ops {
+		o := &ops[i]
+		if e := a.Submit(o.Op, o.Off, o.Count, o.Async, o.Done); e != nil {
+			err = e
+			break
+		}
+		n++
+	}
+	a.deferKicks = false
+	a.flushKicks()
+	return n, err
+}
+
+// flushKicks kicks every drive recorded during a deferred-kick window, in
+// first-touch order (deterministic: a pure function of the batch).
+func (a *Array) flushKicks() {
+	pend := a.pendingKicks
+	a.pendingKicks = pend[:0]
+	for _, d := range pend {
+		d.kickPending = false
+	}
+	for _, d := range pend {
+		a.kick(d)
+	}
 }
 
 // mergeReadPieces coalesces consecutive pieces of a large read that fall
@@ -611,49 +708,45 @@ func (a *Array) Submit(op Op, off int64, count int, async bool, done func(Result
 // every 64 KB and large-I/O bandwidth collapses (the exact degradation
 // the paper's cross-track placement is designed to avoid). Only
 // fully-fresh chunks merge: staleness tracking stays chunk-granular.
-func (a *Array) mergeReadPieces(pieces []layout.Piece) []layout.Piece {
-	geom := a.drives[0].dsk.Geom
-	contiguous := func(prev, next disk.Extent) bool {
-		pl, err1 := geom.PhysToLBA(prev.Start)
-		nl, err2 := geom.PhysToLBA(next.Start)
-		return err1 == nil && err2 == nil && pl+int64(prev.Count) == nl
-	}
-	fresh := func(p *layout.Piece) bool {
-		for _, id := range p.Mirrors {
-			d := a.drives[id]
-			// A drive whose copy of this chunk is gone (failed drive), not
-			// yet reconstructed (rebuilding spare), or tainted (pending
-			// propagation, detected corruption) makes freshness non-uniform
-			// across the merged range, so the pieces must stay separate and
-			// route chunk-by-chunk.
-			if d.failed || d.unreadable(p.Chunk) || a.freshMask(d, p.Chunk) != nil || a.anyKnownBad(d, p.Chunk) {
-				return false
-			}
-		}
-		return true
+func (a *Array) mergeReadPieces(ur *userRequest, pieces []layout.Piece) []layout.Piece {
+	// Single-chunk reads — the overwhelmingly common OLTP shape — skip the
+	// grouping pass entirely; only the extent fuse below applies (a piece
+	// can straddle a track boundary within one chunk).
+	if len(pieces) == 1 {
+		a.fusePieceReplicas(&pieces[0])
+		return pieces
 	}
 	// Group by position: round-robin striping interleaves positions in
 	// logical order, but each position's successive chunks are physically
 	// contiguous on its disk.
-	var out []layout.Piece
-	lastAt := map[int]int{} // position -> index in out of its last piece
+	out := ur.mergeBuf[:0]
+	lastAt := ur.lastAt
+	if n := a.lay.Cfg.Positions(); len(lastAt) < n {
+		lastAt = make([]int, n)
+		ur.lastAt = lastAt
+	}
+	for i := range lastAt {
+		lastAt[i] = -1 // position -> index in out of its last piece
+	}
 	for i := range pieces {
 		p := pieces[i]
-		if at, ok := lastAt[p.Position]; ok {
+		if at := lastAt[p.Position]; at >= 0 {
 			cur := &out[at]
-			if fresh(cur) && fresh(&p) && contiguous(cur.Replicas[0][len(cur.Replicas[0])-1], p.Replicas[0][0]) {
+			if a.pieceFresh(cur) && a.pieceFresh(&p) && a.extContiguous(cur.Replicas[0][len(cur.Replicas[0])-1], p.Replicas[0][0]) {
 				// Append each replica's extents, fusing at physical joins.
 				mergeable := true
 				for j := 1; j < len(cur.Replicas); j++ {
 					// All replicas must continue contiguously too (they do
 					// by construction; guard against layout variants).
-					if !contiguous(cur.Replicas[j][len(cur.Replicas[j])-1], p.Replicas[j][0]) {
+					if !a.extContiguous(cur.Replicas[j][len(cur.Replicas[j])-1], p.Replicas[j][0]) {
 						mergeable = false
 						break
 					}
 				}
 				if mergeable {
 					for j := range cur.Replicas {
+						// Arena subslices are capacity-limited, so this append
+						// copies out rather than clobbering the next piece.
 						cur.Replicas[j] = append(cur.Replicas[j], p.Replicas[j]...)
 					}
 					cur.Count += p.Count
@@ -664,28 +757,62 @@ func (a *Array) mergeReadPieces(pieces []layout.Piece) []layout.Piece {
 		out = append(out, p)
 		lastAt[p.Position] = len(out) - 1
 	}
+	ur.mergeBuf = out
 	// Fuse physically contiguous extents so each replica reaches the bus
 	// as the fewest, longest commands (the layout splits conservatively at
 	// track boundaries, but a multi-track run is one LBA-contiguous
 	// command that the drive streams across its skewed tracks).
 	for i := range out {
-		for j := range out[i].Replicas {
-			src := out[i].Replicas[j]
-			fused := src[:1]
-			for _, e := range src[1:] {
-				if n := len(fused) - 1; contiguous(fused[n], e) {
-					fused[n].Count += e.Count
-				} else {
-					fused = append(fused, e)
-				}
-			}
-			out[i].Replicas[j] = fused
-		}
+		a.fusePieceReplicas(&out[i])
 	}
 	return out
 }
 
-// userRequest tracks a logical request across its pieces.
+// extContiguous reports whether next begins at the LBA right after prev
+// ends — the two are one streamable command.
+func (a *Array) extContiguous(prev, next disk.Extent) bool {
+	geom := a.drives[0].dsk.Geom
+	pl, err1 := geom.PhysToLBA(prev.Start)
+	nl, err2 := geom.PhysToLBA(next.Start)
+	return err1 == nil && err2 == nil && pl+int64(prev.Count) == nl
+}
+
+// pieceFresh reports whether every mirror of the piece's chunk is intact:
+// a drive whose copy is gone (failed drive), not yet reconstructed
+// (rebuilding spare), or tainted (pending propagation, detected
+// corruption) makes freshness non-uniform across a merged range, so such
+// pieces must stay separate and route chunk-by-chunk.
+func (a *Array) pieceFresh(p *layout.Piece) bool {
+	for _, id := range p.Mirrors {
+		d := a.drives[id]
+		if d.failed || d.unreadable(p.Chunk) || d.stale[p.Chunk] != nil || a.anyKnownBad(d, p.Chunk) {
+			return false
+		}
+	}
+	return true
+}
+
+// fusePieceReplicas compacts each replica's extent list in place, merging
+// runs that are LBA-contiguous. Writes trail reads, so mutating the arena
+// slice in place is safe.
+func (a *Array) fusePieceReplicas(p *layout.Piece) {
+	for j := range p.Replicas {
+		src := p.Replicas[j]
+		fused := src[:1]
+		for _, e := range src[1:] {
+			if n := len(fused) - 1; a.extContiguous(fused[n], e) {
+				fused[n].Count += e.Count
+			} else {
+				fused = append(fused, e)
+			}
+		}
+		p.Replicas[j] = fused
+	}
+}
+
+// userRequest tracks a logical request across its pieces. Pooled
+// instances keep their arena and merge buffers across recycles so a
+// steady-state workload resolves and merges without allocating.
 type userRequest struct {
 	a         *Array
 	op        Op
@@ -697,6 +824,16 @@ type userRequest struct {
 	failed    bool
 	err       error
 	done      func(Result)
+
+	arena    layout.Arena
+	mergeBuf []layout.Piece
+	lastAt   []int // position -> merge index, reset each use
+
+	pooled     bool // came from the free list; eligible for putUR
+	noRecycle  bool // extents outlive completion; leave to the GC
+	submitting bool // inside Submit's pieces loop; defer recycle
+	free       bool
+	next       *userRequest
 }
 
 func (ur *userRequest) pieceDone() {
@@ -716,6 +853,14 @@ func (ur *userRequest) pieceDone() {
 			Op: ur.op, Off: ur.off, Count: ur.count, Async: ur.async,
 			Submit: ur.submit, Done: ur.a.sim.Now(), Failed: ur.failed, Err: ur.err,
 		})
+	}
+	// Recycle only after the user's callback returns: the Result references
+	// nothing of ours, and the callback commonly reissues (closed loop),
+	// which would otherwise hand back this very object while the caller's
+	// frame still points at it. If we are inside Submit's synchronous
+	// pieces loop, Submit recycles after the loop instead.
+	if ur.pooled && !ur.noRecycle && !ur.submitting {
+		ur.a.putUR(ur)
 	}
 }
 
@@ -757,6 +902,7 @@ func (a *Array) FailDrive(i int) error {
 	// repairs die with the drive (counted as dropped).
 	for _, c := range d.delayed {
 		a.finishCopy(d, c, false, bus.Completion{})
+		a.putCopy(c)
 	}
 	d.delayed = nil
 	// Reroute or fail queued foreground work.
@@ -780,10 +926,16 @@ func (a *Array) FailDrive(i int) error {
 			}
 			g.members = live
 			if len(g.members) > 0 {
+				if tag.pr != nil {
+					a.putReq(tag.pr)
+				}
 				continue
 			}
 		}
-		tag.fail()
+		reused := a.failTag(tag)
+		if !reused && tag.pr != nil {
+			a.putReq(tag.pr)
+		}
 	}
 	a.maybeStartRebuild()
 	return nil

@@ -608,7 +608,7 @@ func TestMergeReadPieces(t *testing.T) {
 	if len(pieces) != 16 {
 		t.Fatalf("raw pieces = %d, want 16 chunks", len(pieces))
 	}
-	merged := a.mergeReadPieces(pieces)
+	merged := a.mergeReadPieces(a.getUR(), pieces)
 	if len(merged) != 2 {
 		t.Fatalf("merged pieces = %d, want one per position", len(merged))
 	}

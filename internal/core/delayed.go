@@ -10,7 +10,6 @@ import (
 	"repro/internal/des"
 	"repro/internal/disk"
 	"repro/internal/layout"
-	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -19,6 +18,7 @@ import (
 // zero stale count.
 type chunkState struct {
 	staleCount []int
+	next       *chunkState // free list (see pool.go)
 }
 
 func (cs *chunkState) allZero() bool {
@@ -47,7 +47,7 @@ func (a *Array) freshMask(d *drive, chunk int64) []bool {
 func (a *Array) markStale(d *drive, chunk int64, replica int) {
 	cs := d.stale[chunk]
 	if cs == nil {
-		cs = &chunkState{staleCount: make([]int, a.opts.Config.Dr)}
+		cs = a.getChunkState()
 		d.stale[chunk] = cs
 	}
 	cs.staleCount[replica]++
@@ -64,6 +64,7 @@ func (a *Array) clearStale(d *drive, chunk int64, replica int) {
 	}
 	if cs.allZero() {
 		delete(d.stale, chunk)
+		a.putChunkState(cs)
 	}
 }
 
@@ -78,6 +79,9 @@ type propEntry struct {
 	// onAllDone fires when the last copy resolves (rebuild uses it to
 	// advance to the next chunk).
 	onAllDone func()
+
+	free bool       // on the free list (see pool.go)
+	next *propEntry //
 }
 
 // delayedCopy is one pending replica propagation on one drive.
@@ -105,6 +109,9 @@ type delayedCopy struct {
 	// ver is the content version the copy carries (0 when the integrity
 	// oracle is off).
 	ver uint64
+
+	free bool         // on the free list (see pool.go)
+	next *delayedCopy //
 }
 
 // submitWrite routes one write piece. In foreground mode every copy is a
@@ -173,52 +180,27 @@ func (a *Array) submitWriteGated(ur *userRequest, p *layout.Piece) {
 		return
 	}
 	if a.opts.ForegroundWrites {
-		var ver uint64
+		fg := a.getFG()
 		if a.integrity {
-			ver = a.nextVersion()
+			fg.ver = a.nextVersion()
 		}
-		covers := a.coversChunk(p.Chunk, p.Off, p.Count)
-		left := len(live) * a.opts.Config.Dr
-		done := func() {
-			left--
-			if left == 0 {
-				// Commit at the acknowledgement point: only now does a copy
-				// still holding the old content count as stale data.
-				if a.integrity {
-					a.commitVersion(p.Chunk, ver)
-				}
-				ur.pieceDone()
-			}
-		}
+		fg.ur = ur
+		fg.chunk = p.Chunk
+		fg.covers = a.coversChunk(p.Chunk, p.Off, p.Count)
+		fg.left = len(live) * a.opts.Config.Dr
 		for _, id := range live {
 			d := a.drives[id]
 			for j := 0; j < a.opts.Config.Dr; j++ {
-				j := j
-				req := &sched.Request{
-					ID:       a.nextID(),
-					Write:    true,
-					Arrive:   a.sim.Now(),
-					Replicas: []sched.Replica{{Extents: p.Replicas[j]}},
-				}
-				req.Tag = &reqTag{
-					onDone: func(last bus.Completion, _ int) {
-						a.noteCopyWritten(d, p.Chunk, j, ver, covers, last)
-						done()
-					},
-					onFail: func() {
-						// A copy lost to a drive failure mid-queue still
-						// counts toward completion: the write survives on
-						// the remaining copies. A transient double-fault
-						// with the drive alive must land eventually — the
-						// copy is what keeps this mirror fresh.
-						if !d.failed {
-							req.Arrive = a.sim.Now()
-							a.enqueue(d, req)
-							return
-						}
-						done()
-					},
-				}
+				pr := a.getReq()
+				req := &pr.req
+				req.ID = a.nextID()
+				req.Write = true
+				req.Arrive = a.sim.Now()
+				req.Replicas = fillReplicas1(pr, p.Replicas[j])
+				pr.tag.kind = tagFGWrite
+				pr.tag.d = d
+				pr.tag.rep = j
+				pr.tag.fg = fg
 				a.enqueue(d, req)
 			}
 		}
@@ -233,31 +215,19 @@ func (a *Array) submitWriteGated(ur *userRequest, p *layout.Piece) {
 	}
 	for _, id := range live {
 		d := a.drives[id]
-		req := &sched.Request{
-			ID:       a.nextID(),
-			Write:    true,
-			Arrive:   a.sim.Now(),
-			Replicas: replicasOf(p),
-			// Evaluated live at scheduling time: while an earlier write to
-			// this chunk is still propagating, only its fresh replica may
-			// take the new data, or the chunk could end up with no
-			// up-to-date copy at all.
-			AllowedFn: func(j int) bool {
-				mask := a.freshMask(d, p.Chunk)
-				return mask == nil || mask[j]
-			},
-		}
-		req.Tag = &reqTag{
-			group: g,
-			onDone: func(last bus.Completion, chosen int) {
-				ur.pieceDone()
-				a.registerPropagation(p, d, chosen, last)
-				a.releaseWriteGate(p.Chunk)
-			},
-			// All duplicates gone: retry against the survivors (the gate
-			// is still held by this write).
-			onFail: func() { a.submitWriteGated(ur, p) },
-		}
+		pr := a.getReq()
+		req := &pr.req
+		req.ID = a.nextID()
+		req.Write = true
+		req.Arrive = a.sim.Now()
+		req.Replicas = fillReplicas(pr, p)
+		// Evaluated live at scheduling time (see reqTag.allowedFresh).
+		req.AllowedFn = pr.allowedFn
+		pr.tag.kind = tagFirstWrite
+		pr.tag.group = g
+		pr.tag.d = d
+		pr.tag.ur = ur
+		pr.tag.p = p
 		if g != nil {
 			g.members = append(g.members, dupMember{d, req})
 		} else {
@@ -294,8 +264,9 @@ func (a *Array) registerPropagation(p *layout.Piece, first *drive, chosen int, l
 		ver = a.nextVersion()
 		a.noteCopyWritten(first, p.Chunk, chosen, ver, a.coversChunk(p.Chunk, p.Off, p.Count), last)
 	}
-	entry := &propEntry{tracked: true}
-	var touched []*drive
+	entry := a.getEntry()
+	entry.tracked = true
+	touched := a.touched[:0]
 	for _, id := range p.Mirrors {
 		d := a.drives[id]
 		if d.failed || d.unreadable(p.Chunk) {
@@ -310,20 +281,21 @@ func (a *Array) registerPropagation(p *layout.Piece, first *drive, chosen int, l
 			if !a.opts.DisableCoalescing {
 				a.coalesce(d, p.Chunk, p.Off, p.Count, j)
 			}
-			d.delayed = append(d.delayed, &delayedCopy{
-				entry:   entry,
-				replica: j,
-				extents: p.Replicas[j],
-				chunk:   p.Chunk,
-				off:     p.Off,
-				count:   p.Count,
-				ver:     ver,
-			})
+			c := a.getCopy()
+			c.entry = entry
+			c.replica = j
+			c.extents = p.Replicas[j]
+			c.chunk = p.Chunk
+			c.off = p.Off
+			c.count = p.Count
+			c.ver = ver
+			d.delayed = append(d.delayed, c)
 			a.markStale(d, p.Chunk, j)
 			entry.remaining++
 		}
 		touched = append(touched, d)
 	}
+	a.touched = touched
 	// Delayed-mode writes acknowledge after the first copy: that is the
 	// commit point, and every pending copy above (stale until it lands)
 	// carries the committed version it will refresh to.
@@ -335,6 +307,9 @@ func (a *Array) registerPropagation(p *layout.Piece, first *drive, chosen int, l
 		if a.obsRec != nil {
 			a.obsRec.NVRAM.Set(int64(a.nvramUsed))
 		}
+	} else {
+		// Every mirror was failed or missing: nothing to propagate.
+		a.putEntry(entry)
 	}
 	if a.nvramUsed >= a.nvramCap {
 		a.forceDelayed(a.nvramCap / 10)
@@ -357,6 +332,7 @@ func (a *Array) coalesce(d *drive, chunk, off int64, count, replica int) {
 			off <= c.off && off+int64(count) >= c.off+int64(c.count) {
 			a.clearStale(d, chunk, replica)
 			a.copyEntryDone(c.entry)
+			a.putCopy(c)
 			continue
 		}
 		kept = append(kept, c)
@@ -379,6 +355,7 @@ func (a *Array) copyEntryDone(e *propEntry) {
 		if e.onAllDone != nil {
 			e.onAllDone()
 		}
+		a.putEntry(e)
 	}
 }
 
@@ -401,35 +378,17 @@ func (a *Array) dispatchDelayed(d *drive) {
 	}
 	c := d.delayed[bestI]
 	d.delayed = append(d.delayed[:bestI], d.delayed[bestI+1:]...)
-	req := &sched.Request{ID: a.nextID(), Write: true, Arrive: a.sim.Now()}
-	start := a.sim.Now()
-	a.runExtents(d, req, c.extents, func(last bus.Completion, clean bool, retries int) {
-		if d.rec != nil {
-			// Propagation bypasses the foreground queue, so its queue delay
-			// is definitionally zero (Arrive == Start at dispatch).
-			rec := obs.Dispatch{
-				Req: req.ID, Class: obs.Delayed, Op: obs.OpWrite,
-				Arrive: start, Start: start, Retries: retries, Rebuild: c.rebuild,
-			}
-			if clean {
-				d.rec.Done(rec, last.Timing, last.Observed)
-			} else {
-				d.rec.FaultedRun(rec, last.Fault, last.Observed)
-			}
-		}
-		switch {
-		case clean:
-			a.finishCopy(d, c, true, last)
-		case d.failed:
-			// The copy dies with the drive; resolve its table entry.
-			a.finishCopy(d, c, false, last)
-		default:
-			// Double fault with the drive alive: the copy must still land.
-			// Put it back at the front and let the next idle window retry.
-			d.delayed = append([]*delayedCopy{c}, d.delayed...)
-		}
-		a.kick(d)
-	})
+	pr := a.getReq()
+	req := &pr.req
+	req.ID = a.nextID()
+	req.Write = true
+	req.Arrive = a.sim.Now()
+	r := a.startRun(d, req, c.extents)
+	r.kind = runDelayed
+	r.dc = c
+	r.pr = pr
+	r.start = a.sim.Now()
+	a.submitExtent(r)
 }
 
 // finishCopy resolves one delayed copy: clean means the write landed on a
@@ -488,27 +447,15 @@ func (a *Array) forceDelayed(n int) {
 
 // promoteCopy turns a delayed copy into a foreground write request.
 func (a *Array) promoteCopy(d *drive, c *delayedCopy) {
-	req := &sched.Request{
-		ID:       a.nextID(),
-		Write:    true,
-		Arrive:   a.sim.Now(),
-		Replicas: []sched.Replica{{Extents: c.extents}},
-		Tag: &reqTag{
-			onDone: func(last bus.Completion, _ int) {
-				a.finishCopy(d, c, true, last)
-			},
-			onFail: func() {
-				// Keep trying while the drive lives (the copy holds a
-				// staleness mark that must resolve); with the drive gone
-				// the copy is lost but the entry still resolves.
-				if !d.failed {
-					a.promoteCopy(d, c)
-					return
-				}
-				a.finishCopy(d, c, false, bus.Completion{})
-			},
-		},
-	}
+	pr := a.getReq()
+	req := &pr.req
+	req.ID = a.nextID()
+	req.Write = true
+	req.Arrive = a.sim.Now()
+	req.Replicas = fillReplicas1(pr, c.extents)
+	pr.tag.kind = tagPromote
+	pr.tag.d = d
+	pr.tag.dc = c
 	a.enqueue(d, req)
 }
 

@@ -34,15 +34,21 @@ func opOf(req *sched.Request) obs.Op {
 	return obs.OpRead
 }
 
-// reqTag is the array-layer bookkeeping riding on each sched.Request.
+// reqTag is the array-layer bookkeeping riding on each sched.Request. Hot
+// paths set kind plus the context fields below and dispatch through
+// Array.tagDone/failTag; cold paths keep the zero kind (tagClosure) with
+// per-request closures.
 type reqTag struct {
+	// kind selects the completion/failure continuation (see pool.go).
+	kind  tagKind
 	group *dupGroup
 	// onDone runs when the dispatched request fully completes (all extents
 	// transferred). chosenReplica is the replica the scheduler picked.
+	// Only consulted under tagClosure.
 	onDone func(last bus.Completion, chosenReplica int)
 	// onFail runs when a drive failure leaves the request with no copy to
 	// read or write; nil means the failure is silently absorbed (delayed
-	// propagation copies).
+	// propagation copies). Only consulted under tagClosure.
 	onFail func()
 	// ref marks head-tracking reference reads.
 	ref bool
@@ -55,13 +61,21 @@ type reqTag struct {
 	// offQueue records that the request has left its drive queue (by
 	// dispatch or drive failure), so an expired ReadDeadline is a no-op.
 	offQueue bool
-}
 
-// fail invokes the failure path.
-func (t *reqTag) fail() {
-	if t.onFail != nil {
-		t.onFail()
-	}
+	// pr points back to the pooled request this tag is embedded in; nil for
+	// heap-allocated (cold path) requests, which are never recycled.
+	pr *pooledReq
+	// gen counts the pooled request's lives. A deadline event captures the
+	// generation it was armed against and becomes a no-op once the request
+	// is recycled.
+	gen uint64
+	// Context for the kind-dispatched continuations.
+	ur  *userRequest
+	p   *layout.Piece
+	d   *drive
+	rep int
+	fg  *fgWrite
+	dc  *delayedCopy
 }
 
 // dupGroup links duplicate copies of one read enqueued on several mirror
@@ -101,6 +115,15 @@ func removeFromQueue(d *drive, req *sched.Request) {
 // delayed write propagation (which runs only when the foreground queue is
 // empty, per Section 3.4).
 func (a *Array) kick(d *drive) {
+	if a.deferKicks {
+		// SubmitBatch in progress: record the drive once and kick it at the
+		// flush, after the whole batch has been routed into the queues.
+		if !d.kickPending {
+			d.kickPending = true
+			a.pendingKicks = append(a.pendingKicks, d)
+		}
+		return
+	}
 	if d.failed || d.bus.Free() == 0 {
 		return
 	}
@@ -132,7 +155,7 @@ func (a *Array) kick(d *drive) {
 		at := now + wait
 		if d.recheckAt < at {
 			d.recheckAt = at
-			a.sim.At(at, func() { a.kick(d) })
+			a.sim.At(at, d.kickFn)
 		}
 		return
 	}
@@ -145,7 +168,7 @@ func (a *Array) kick(d *drive) {
 		at := now + throttleRecheck
 		if d.recheckAt < at {
 			d.recheckAt = at
-			a.sim.At(at, func() { a.kick(d) })
+			a.sim.At(at, d.kickFn)
 		}
 		return
 	}
@@ -198,8 +221,14 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 		for _, m := range g.members {
 			if m.req != req {
 				removeFromQueue(m.d, m.req)
+				// The cancelled loser can never be referenced again (the
+				// deadline event checks g.claimed before touching members).
+				if mt := m.req.Tag.(*reqTag); mt.pr != nil {
+					a.putReq(mt.pr)
+				}
 			}
 		}
+		g.members = nil
 	}
 	if hc := tag.hedgeOf; hc != nil {
 		hc.hedgeReq = nil // on the wire now; past cancellation
@@ -208,9 +237,79 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 		a.armHedge(hc, d)
 	}
 	a.Dispatches++
-	extents := req.Replicas[choice.Replica].Extents
-	start := a.sim.Now()
-	a.runExtents(d, req, extents, func(last bus.Completion, clean bool, retries int) {
+	r := a.startRun(d, req, req.Replicas[choice.Replica].Extents)
+	r.kind = runDispatch
+	r.choice = choice
+	r.start = a.sim.Now()
+	a.submitExtent(r)
+}
+
+// submitExtent issues the run's current extent on the bus. A faulted
+// command is retried once in-drive (the SCSI-driver policy: one immediate
+// reissue before escalating); a second fault on the same extent abandons
+// the run with clean=false and the tag's failure path takes over. Timing of
+// a faulted run must not feed calibration, breakdown, or histogram
+// accounting.
+func (a *Array) submitExtent(r *extentRun) {
+	e := r.extents[r.idx]
+	lba, err := r.d.dsk.Geom.PhysToLBA(e.Start)
+	if err != nil {
+		panic(fmt.Sprintf("core: layout produced unmappable extent %v: %v", e.Start, err))
+	}
+	r.d.bus.SubmitHandled(bus.Command{Op: r.op, LBA: lba, Count: e.Count}, r, 0)
+}
+
+// stepRun advances an extent run on each bus completion: retry the extent,
+// move to the next one, or finish the run.
+func (a *Array) stepRun(r *extentRun, comp bus.Completion) {
+	d := r.d
+	if comp.SlowBy > 0 {
+		a.noteSlow(d, comp)
+	}
+	if comp.Latent || comp.Corrupt || comp.Torn {
+		a.noteCorruption(d, comp)
+		r.latent = r.latent || comp.Latent
+		r.corrupt = r.corrupt || comp.Corrupt
+		r.torn = r.torn || comp.Torn
+	}
+	if !comp.OK() {
+		a.noteFault(d, comp.Fault)
+		if !r.retried && !d.failed {
+			a.faults.Retries++
+			r.retries++
+			if d.rec != nil {
+				d.rec.Retry()
+			}
+			r.retried = true
+			a.submitExtent(r)
+			return
+		}
+		a.finishRun(r, comp, false)
+		return
+	}
+	if r.idx+1 < len(r.extents) {
+		r.idx++
+		r.retried = false
+		a.submitExtent(r)
+		return
+	}
+	comp.Latent, comp.Corrupt, comp.Torn = r.latent, r.corrupt, r.torn
+	a.finishRun(r, comp, true)
+}
+
+// finishRun retires an extent run and executes its continuation — the
+// bodies of the old dispatch/dispatchDelayed completion closures. The run
+// is released before the continuation so a synchronous resubmission
+// (closed-loop workloads complete and reissue in the same event) reuses it
+// immediately.
+func (a *Array) finishRun(r *extentRun, last bus.Completion, clean bool) {
+	kind, d, req, retries := r.kind, r.d, r.req, r.retries
+	choice, start, c, pr := r.choice, r.start, r.dc, r.pr
+	extents := r.extents
+	a.putRun(r)
+	switch kind {
+	case runDispatch:
+		tag := req.Tag.(*reqTag)
 		d.lastActive = a.sim.Now()
 		if !clean {
 			// The in-drive retry also faulted (or the drive fail-stopped):
@@ -225,8 +324,11 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 					Failover: true, Rebuild: req.Background,
 				}, last.Fault, last.Observed)
 			}
-			tag.fail()
+			reused := a.failTag(tag)
 			a.kick(d)
+			if !reused && tag.pr != nil {
+				a.putReq(tag.pr)
+			}
 			return
 		}
 		if d.rec != nil {
@@ -254,68 +356,43 @@ func (a *Array) dispatch(d *drive, choice sched.Choice) {
 			b.Transfer += last.Timing.Transfer
 			b.Overhead += (last.Observed - start) - last.Timing.Total()
 		}
-		tag.onDone(last, choice.Replica)
+		a.tagDone(tag, last, choice.Replica)
 		a.kick(d)
-	})
-}
-
-// runExtents submits a replica's extents back-to-back and calls done with
-// the final completion, whether the run stayed clean, and how many
-// in-drive retries it needed. A faulted command is retried once in-drive
-// (the SCSI-driver policy: one immediate reissue before escalating); a
-// second fault on the same extent abandons the run with clean=false and
-// the caller's failure path takes over. Timing of a faulted run must not
-// feed calibration, breakdown, or histogram accounting.
-func (a *Array) runExtents(d *drive, req *sched.Request, extents []disk.Extent, done func(last bus.Completion, clean bool, retries int)) {
-	op := bus.OpRead
-	if req.Write {
-		op = bus.OpWrite
-	}
-	retries := 0
-	// Corruption flags accumulate across the run's extents so the final
-	// completion handed to done carries every silent draw, not just the
-	// last extent's.
-	var latent, corrupt, torn bool
-	var run func(i int, retried bool)
-	run = func(i int, retried bool) {
-		e := extents[i]
-		lba, err := d.dsk.Geom.PhysToLBA(e.Start)
-		if err != nil {
-			panic(fmt.Sprintf("core: layout produced unmappable extent %v: %v", e.Start, err))
+		if tag.pr != nil {
+			a.putReq(tag.pr)
 		}
-		d.bus.Submit(bus.Command{Op: op, LBA: lba, Count: e.Count}, func(comp bus.Completion) {
-			if comp.SlowBy > 0 {
-				a.noteSlow(d, comp)
+	case runDelayed:
+		if d.rec != nil {
+			// Propagation bypasses the foreground queue, so its queue delay
+			// is definitionally zero (Arrive == Start at dispatch).
+			rec := obs.Dispatch{
+				Req: req.ID, Class: obs.Delayed, Op: obs.OpWrite,
+				Arrive: start, Start: start, Retries: retries, Rebuild: c.rebuild,
 			}
-			if comp.Latent || comp.Corrupt || comp.Torn {
-				a.noteCorruption(d, comp)
-				latent = latent || comp.Latent
-				corrupt = corrupt || comp.Corrupt
-				torn = torn || comp.Torn
+			if clean {
+				d.rec.Done(rec, last.Timing, last.Observed)
+			} else {
+				d.rec.FaultedRun(rec, last.Fault, last.Observed)
 			}
-			if !comp.OK() {
-				a.noteFault(d, comp.Fault)
-				if !retried && !d.failed {
-					a.faults.Retries++
-					retries++
-					if d.rec != nil {
-						d.rec.Retry()
-					}
-					run(i, true)
-					return
-				}
-				done(comp, false, retries)
-				return
-			}
-			if i+1 < len(extents) {
-				run(i+1, false)
-				return
-			}
-			comp.Latent, comp.Corrupt, comp.Torn = latent, corrupt, torn
-			done(comp, true, retries)
-		})
+		}
+		switch {
+		case clean:
+			a.finishCopy(d, c, true, last)
+			a.putCopy(c)
+		case d.failed:
+			// The copy dies with the drive; resolve its table entry.
+			a.finishCopy(d, c, false, last)
+			a.putCopy(c)
+		default:
+			// Double fault with the drive alive: the copy must still land.
+			// Put it back at the front and let the next idle window retry.
+			d.delayed = append([]*delayedCopy{c}, d.delayed...)
+		}
+		a.kick(d)
+		if pr != nil {
+			a.putReq(pr)
+		}
 	}
-	run(0, false)
 }
 
 // account feeds prediction accuracy and the slack feedback loop (prototype
@@ -348,14 +425,19 @@ func (a *Array) account(d *drive, req *sched.Request, choice sched.Choice, exten
 	}
 }
 
+// readCand is one mirror drive able to serve a read piece. tainted means
+// the drive's copy of the chunk has stale or known-corrupt replicas (the
+// request will carry an AllowedReplicas mask).
+type readCand struct {
+	d       *drive
+	tainted bool
+}
+
 // submitRead routes one read piece: to an idle mirror disk directly, or
 // duplicated into every candidate's queue (the paper's mirror heuristic).
 func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
-	type cand struct {
-		d    *drive
-		mask []bool
-	}
-	var cands []cand
+	var candArr [maxPoolReplicas]readCand
+	cands := candArr[:0]
 	anyUnreachable := false
 	anyCorrupt := false
 	for _, id := range p.Mirrors {
@@ -369,11 +451,11 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 		if a.anyKnownBad(d, p.Chunk) {
 			anyCorrupt = true
 		}
-		mask := a.readMask(d, p.Chunk)
-		if mask != nil && !anyTrue(mask) {
+		tainted := a.chunkTainted(d, p.Chunk)
+		if tainted && !a.anyUsable(d, p.Chunk) {
 			continue // every replica here is stale or known-corrupt
 		}
-		cands = append(cands, cand{d, mask})
+		cands = append(cands, readCand{d, tainted})
 	}
 	if len(cands) == 0 {
 		// Degraded-mode reads fail here with ErrDataLost: every copy is on
@@ -402,61 +484,9 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 	if a.opts.Hedge {
 		hc = &hedgeCtl{a: a, ur: ur, p: p}
 	}
-	mkReq := func(c cand, g *dupGroup) *sched.Request {
-		req := &sched.Request{
-			ID:              a.nextID(),
-			Arrive:          a.sim.Now(),
-			Replicas:        replicasOf(p),
-			AllowedReplicas: c.mask,
-		}
-		// A copy queued on a Suspect drive is handicapped so a healthy
-		// mirror's scan claims the shared duplicate first (see health.go).
-		if a.suspectDrive(c.d) {
-			req.Penalty = SuspectPenalty
-		}
-		req.Tag = &reqTag{
-			group: g,
-			hc:    hc,
-			onDone: func(last bus.Completion, chosen int) {
-				// Verify-on-read: consult the oracle where a real array
-				// would check the extent checksums. A hit fails over to the
-				// remaining clean replicas (queueing an in-place repair);
-				// with verification off the corrupt read flows to the
-				// caller and is only counted.
-				bad := a.integrity && a.checkPieceRead(c.d, p, chosen, last)
-				if bad && a.opts.VerifyReads {
-					a.noteDetected(c.d, p, chosen)
-					if hc != nil {
-						hc.primaryFail()
-						return
-					}
-					a.submitRead(ur, p)
-					return
-				}
-				if hc != nil {
-					hc.primaryDone(bad)
-					return
-				}
-				if bad {
-					a.noteSilent()
-				}
-				ur.pieceDone()
-			},
-			// A failure with no surviving duplicate retries against
-			// the remaining mirrors (and fails there if none remain).
-			onFail: func() {
-				if hc != nil {
-					hc.primaryFail()
-					return
-				}
-				a.submitRead(ur, p)
-			},
-		}
-		return req
-	}
 	// Idle-disk fast path: send to the idle head closest to a copy,
 	// preferring healthy drives over Suspect ones.
-	var bestIdle *cand
+	var bestIdle *readCand
 	var bestT des.Time
 	bestRank := 0
 	for i := range cands {
@@ -468,13 +498,13 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 		if a.suspectDrive(c.d) {
 			rank = 1
 		}
-		t := a.bestAccess(c.d, p, c.mask)
+		t := a.bestAccess(c.d, p, c.tainted)
 		if bestIdle == nil || rank < bestRank || (rank == bestRank && t < bestT) {
 			bestIdle, bestRank, bestT = c, rank, t
 		}
 	}
 	if bestIdle != nil {
-		req := mkReq(*bestIdle, nil)
+		req := a.mkReadReq(ur, p, *bestIdle, nil, hc)
 		a.enqueue(bestIdle.d, req)
 		if a.opts.ReadDeadline > 0 {
 			a.armDeadline(ur, p, nil, bestIdle.d, req)
@@ -482,7 +512,7 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 		return
 	}
 	if len(cands) == 1 {
-		req := mkReq(cands[0], nil)
+		req := a.mkReadReq(ur, p, cands[0], nil, hc)
 		a.enqueue(cands[0].d, req)
 		if a.opts.ReadDeadline > 0 {
 			a.armDeadline(ur, p, nil, cands[0].d, req)
@@ -498,18 +528,18 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 		if a.suspectDrive(cands[0].d) {
 			bestRank = 1
 		}
-		bestT := a.bestAccess(cands[0].d, p, cands[0].mask)
+		bestT := a.bestAccess(cands[0].d, p, cands[0].tainted)
 		for i := 1; i < len(cands); i++ {
 			rank := 0
 			if a.suspectDrive(cands[i].d) {
 				rank = 1
 			}
-			t := a.bestAccess(cands[i].d, p, cands[i].mask)
+			t := a.bestAccess(cands[i].d, p, cands[i].tainted)
 			if rank < bestRank || (rank == bestRank && t < bestT) {
 				best, bestRank, bestT = i, rank, t
 			}
 		}
-		req := mkReq(cands[best], nil)
+		req := a.mkReadReq(ur, p, cands[best], nil, hc)
 		a.enqueue(cands[best].d, req)
 		if a.opts.ReadDeadline > 0 {
 			a.armDeadline(ur, p, nil, cands[best].d, req)
@@ -518,7 +548,7 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 	}
 	g := &dupGroup{}
 	for _, c := range cands {
-		req := mkReq(c, g)
+		req := a.mkReadReq(ur, p, c, g, hc)
 		g.members = append(g.members, dupMember{c.d, req})
 	}
 	for _, m := range g.members {
@@ -535,13 +565,41 @@ func (a *Array) submitRead(ur *userRequest, p *layout.Piece) {
 	}
 }
 
-// bestAccess estimates the cheapest allowed replica access for a piece on
-// a drive.
-func (a *Array) bestAccess(d *drive, p *layout.Piece, mask []bool) des.Time {
+// mkReadReq builds one pooled read copy for a candidate drive. Completion
+// and failure route through tagRead in pool.go — the same continuations the
+// old per-request closures carried.
+func (a *Array) mkReadReq(ur *userRequest, p *layout.Piece, c readCand, g *dupGroup, hc *hedgeCtl) *sched.Request {
+	pr := a.getReq()
+	req := &pr.req
+	req.ID = a.nextID()
+	req.Arrive = a.sim.Now()
+	req.Replicas = fillReplicas(pr, p)
+	if c.tainted {
+		req.AllowedReplicas = a.readMaskInto(c.d, p.Chunk, pr.mask[:0])
+	}
+	// A copy queued on a Suspect drive is handicapped so a healthy
+	// mirror's scan claims the shared duplicate first (see health.go).
+	if a.suspectDrive(c.d) {
+		req.Penalty = SuspectPenalty
+	}
+	t := &pr.tag
+	t.kind = tagRead
+	t.group = g
+	t.hc = hc
+	t.d = c.d
+	t.ur = ur
+	t.p = p
+	return req
+}
+
+// bestAccess estimates the cheapest usable replica access for a piece on a
+// drive (tainted consults the per-replica usability that readMask would
+// materialize).
+func (a *Array) bestAccess(d *drive, p *layout.Piece, tainted bool) des.Time {
 	best := des.Time(0)
 	first := true
 	for j, rep := range p.Replicas {
-		if mask != nil && !mask[j] {
+		if tainted && !a.replicaUsable(d, p.Chunk, j) {
 			continue
 		}
 		e := rep[0]

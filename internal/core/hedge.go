@@ -399,6 +399,17 @@ func (a *Array) admit(op Op, pieces []layout.Piece) error {
 // The budget restarts when a failover resubmits the piece.
 func (a *Array) armDeadline(ur *userRequest, p *layout.Piece, g *dupGroup, d *drive, req *sched.Request) {
 	chunk := p.Chunk
+	// The deadline event outlives the request when it completes in time, and
+	// a pooled request may have been recycled into a different logical
+	// request by then. The generation captured here tells a stale firing
+	// apart from a live one (dupGroups are heap-allocated and use g.claimed
+	// for the same purpose).
+	var tag *reqTag
+	var gen uint64
+	if req != nil {
+		tag = req.Tag.(*reqTag)
+		gen = tag.gen
+	}
 	a.sim.At(a.sim.Now()+a.opts.ReadDeadline, func() {
 		if g != nil {
 			if g.claimed || len(g.members) == 0 {
@@ -408,16 +419,21 @@ func (a *Array) armDeadline(ur *userRequest, p *layout.Piece, g *dupGroup, d *dr
 			}
 			for _, m := range g.members {
 				removeFromQueue(m.d, m.req)
+				if mt := m.req.Tag.(*reqTag); mt.pr != nil {
+					a.putReq(mt.pr)
+				}
 			}
 			g.members = nil
 			g.claimed = true // nothing may dispatch this group anymore
 		} else {
-			tag := req.Tag.(*reqTag)
-			if tag.offQueue {
+			if tag.gen != gen || tag.offQueue {
 				return
 			}
 			tag.offQueue = true
 			removeFromQueue(d, req)
+			if tag.pr != nil {
+				a.putReq(tag.pr)
+			}
 		}
 		a.sheds.Deadline++
 		if a.obsRec != nil {

@@ -241,6 +241,74 @@ func (a *Array) readMask(d *drive, chunk int64) []bool {
 	return mask
 }
 
+// chunkTainted reports whether readMask would be non-nil for the chunk on
+// this drive — some replica stale or known-corrupt — without allocating
+// the mask.
+func (a *Array) chunkTainted(d *drive, chunk int64) bool {
+	if d.stale[chunk] != nil {
+		return true
+	}
+	if !a.integrity {
+		return false
+	}
+	st := d.integ[chunk]
+	if st == nil {
+		return false
+	}
+	for _, b := range st.bad {
+		if b == badKnown {
+			return true
+		}
+	}
+	return false
+}
+
+// replicaUsable reports what readMask's mask[j] would be, without
+// materializing the mask: fresh (no pending propagation) and not
+// known-corrupt.
+func (a *Array) replicaUsable(d *drive, chunk int64, j int) bool {
+	if cs := d.stale[chunk]; cs != nil && cs.staleCount[j] != 0 {
+		return false
+	}
+	if a.integrity {
+		if st := d.integ[chunk]; st != nil && st.bad[j] == badKnown {
+			return false
+		}
+	}
+	return true
+}
+
+// anyUsable reports whether at least one replica of the chunk on this
+// drive is usable for reads (the non-nil-mask analogue of anyTrue).
+func (a *Array) anyUsable(d *drive, chunk int64) bool {
+	for j := 0; j < a.opts.Config.Dr; j++ {
+		if a.replicaUsable(d, chunk, j) {
+			return true
+		}
+	}
+	return false
+}
+
+// readMaskInto fills buf (growing it if Dr exceeds its capacity) with the
+// same values readMask would allocate; nil when every replica is usable.
+// Hot read submission uses it with the pooled request's inline backing.
+func (a *Array) readMaskInto(d *drive, chunk int64, buf []bool) []bool {
+	if !a.chunkTainted(d, chunk) {
+		return nil
+	}
+	dr := a.opts.Config.Dr
+	mask := buf
+	if cap(mask) < dr {
+		mask = make([]bool, dr)
+	} else {
+		mask = mask[:dr]
+	}
+	for j := 0; j < dr; j++ {
+		mask[j] = a.replicaUsable(d, chunk, j)
+	}
+	return mask
+}
+
 // anyKnownBad reports whether any replica of the chunk on this drive has
 // been detected corrupt (and is awaiting repair).
 func (a *Array) anyKnownBad(d *drive, chunk int64) bool {

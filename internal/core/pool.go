@@ -1,0 +1,535 @@
+package core
+
+// Free-list pools backing the zero-allocation submit/dispatch path. The
+// steady state of a closed-loop workload churns four object kinds per
+// logical I/O — the sched.Request (with its reqTag and replica slice), the
+// extent-run driving the bus commands, the userRequest holding the resolved
+// layout pieces, and for delayed writes the propagation bookkeeping
+// (delayedCopy / propEntry / chunkState). Each kind recycles through an
+// intrusive free list on the Array: the array is single-goroutine by
+// construction (everything runs on its Sim), so the lists need no locking.
+//
+// Lifetime rules (the part that makes pooling safe):
+//
+//   - A pooled request is released exactly once, at a point where nothing
+//     can reference it again: the dispatch completion after its tag
+//     continuation ran (unless the continuation re-enqueued the same
+//     request — the foreground-write transient-retry path), the duplicate-
+//     group claim that cancels the losers, the deadline expiry that removed
+//     it from its queue, or the drive-failure sweep.
+//   - Late events that captured a request before recycling (ReadDeadline
+//     expiry) revalidate through the tag's generation counter: getReq bumps
+//     tag.gen, so a deadline armed against a previous life never touches
+//     the queue.
+//   - A pooled userRequest recycles when its last piece completes, unless
+//     its resolved extents outlive it (delayed-mode writes park arena
+//     extents in delayedCopies; hedged reads can leave a duplicate in
+//     flight past completion; the integrity oracle's repair machinery
+//     resolves chunks independently but stays conservative) — those cases
+//     set noRecycle and fall back to the garbage collector.
+//   - Double releases panic via the free flag rather than corrupting the
+//     list.
+//
+// SetPoolPoisoning scrambles every recycled object so that any stale
+// reference — a completion, deadline, or queue entry still holding a
+// previous life — either panics (nil derefs, negative event times) or
+// diverges the simulation where the regression tests compare byte-identical
+// figure output.
+
+import (
+	"repro/internal/bus"
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+// poisonPools, when set, scrambles recycled pool objects (see
+// SetPoolPoisoning).
+var poisonPools bool
+
+// SetPoolPoisoning toggles poisoning of recycled pool objects and returns
+// the previous setting. Tests flip it on and assert that poisoned and
+// unpoisoned runs produce byte-identical results — any divergence means a
+// stale reference to a recycled object survived somewhere. Not safe to
+// change while simulations are running.
+func SetPoolPoisoning(on bool) bool {
+	prev := poisonPools
+	poisonPools = on
+	return prev
+}
+
+// maxPoolReplicas sizes the inline replica and mask backing of a pooled
+// request. Dr beyond it (a 12-head drive fully rotationally replicated)
+// falls back to heap slices; correctness is unaffected.
+const maxPoolReplicas = 8
+
+// tagKind selects a dispatched request's completion continuation. The zero
+// value keeps the legacy closure form (onDone/onFail), which the cold paths
+// — reference reads, hedge duplicates, rebuild, scrub, NVRAM recovery —
+// still use; the hot paths carry a kind plus context fields so that
+// submitting a request allocates no closures.
+type tagKind uint8
+
+const (
+	tagClosure tagKind = iota
+	// tagRead is a foreground read copy (submitRead).
+	tagRead
+	// tagFGWrite is one copy of a foreground-mode write, counting down its
+	// fgWrite.
+	tagFGWrite
+	// tagFirstWrite is the delayed-mode first copy; completion registers
+	// the propagation and releases the chunk's write gate.
+	tagFirstWrite
+	// tagPromote is a delayed copy promoted to the foreground queue
+	// (forceDelayed / RecoverDelayed).
+	tagPromote
+)
+
+// pooledReq bundles a sched.Request with its reqTag and the inline backing
+// for replicas and the allowed-replica mask, so issuing one request touches
+// exactly one pooled object.
+type pooledReq struct {
+	req  sched.Request
+	tag  reqTag
+	reps [maxPoolReplicas]sched.Replica
+	mask [maxPoolReplicas]bool
+	// allowedFn is tag.allowedFresh bound once at first construction (the
+	// receiver &tag is stable for the object's lifetime), so delayed-mode
+	// first writes can install an AllowedFn without a per-request closure.
+	allowedFn func(int) bool
+	free      bool
+	next      *pooledReq
+}
+
+// getReq returns a reset pooled request. The tag's generation counter
+// survives recycling (monotonically increasing per object), invalidating
+// deadline events armed against previous lives.
+func (a *Array) getReq() *pooledReq {
+	pr := a.freeReqs
+	if pr == nil {
+		pr = &pooledReq{}
+		pr.allowedFn = pr.tag.allowedFresh
+	} else {
+		a.freeReqs = pr.next
+		pr.next = nil
+	}
+	pr.free = false
+	gen := pr.tag.gen
+	pr.req = sched.Request{}
+	pr.tag = reqTag{pr: pr, gen: gen + 1}
+	pr.req.Tag = &pr.tag
+	return pr
+}
+
+// putReq releases a pooled request. Releasing twice panics.
+func (a *Array) putReq(pr *pooledReq) {
+	if pr == nil {
+		return
+	}
+	if pr.free {
+		panic("core: pooled request released twice")
+	}
+	pr.free = true
+	if poisonPools {
+		pr.req = sched.Request{
+			ID:     ^uint64(0),
+			Arrive: des.Time(-1e18), // scheduling off a stale Arrive panics in des
+			Tag:    &pr.tag,
+		}
+		t := &pr.tag
+		t.kind = ^tagKind(0) // unknown kind: tagDone/failTag panic
+		t.group, t.onDone, t.onFail = nil, nil, nil
+		t.hc, t.hedgeOf = nil, nil
+		t.ur, t.p, t.d, t.fg, t.dc = nil, nil, nil, nil, nil
+		for i := range pr.reps {
+			pr.reps[i] = sched.Replica{}
+		}
+		for i := range pr.mask {
+			pr.mask[i] = false
+		}
+	}
+	pr.next = a.freeReqs
+	a.freeReqs = pr
+}
+
+// fillReplicas builds the request's replica slice from the piece, backed by
+// the pooled inline array when it fits.
+func fillReplicas(pr *pooledReq, p *layout.Piece) []sched.Replica {
+	n := len(p.Replicas)
+	var out []sched.Replica
+	if n <= len(pr.reps) {
+		out = pr.reps[:n]
+	} else {
+		out = make([]sched.Replica, n)
+	}
+	for j, exts := range p.Replicas {
+		out[j] = sched.Replica{Extents: exts}
+	}
+	return out
+}
+
+// fillReplicas1 builds a single-replica slice (foreground write copies,
+// promoted delayed copies) from the pooled backing.
+func fillReplicas1(pr *pooledReq, exts []disk.Extent) []sched.Replica {
+	pr.reps[0] = sched.Replica{Extents: exts}
+	return pr.reps[:1]
+}
+
+// fgWrite counts down the copies of one foreground-mode write piece.
+type fgWrite struct {
+	ur     *userRequest
+	chunk  int64
+	ver    uint64
+	covers bool
+	left   int
+	free   bool
+	next   *fgWrite
+}
+
+func (a *Array) getFG() *fgWrite {
+	f := a.freeFGs
+	if f == nil {
+		return &fgWrite{}
+	}
+	a.freeFGs = f.next
+	*f = fgWrite{}
+	return f
+}
+
+func (a *Array) putFG(f *fgWrite) {
+	if f.free {
+		panic("core: fgWrite released twice")
+	}
+	f.free = true
+	if poisonPools {
+		f.ur = nil
+		f.chunk, f.ver = -1, ^uint64(0)
+		f.left = -1 << 30
+	}
+	f.next = a.freeFGs
+	a.freeFGs = f
+}
+
+// fgDone counts one copy of a foreground write down; the last copy commits
+// the version (oracle on) and completes the piece.
+func (a *Array) fgDone(f *fgWrite) {
+	f.left--
+	if f.left != 0 {
+		return
+	}
+	if a.integrity {
+		a.commitVersion(f.chunk, f.ver)
+	}
+	ur := f.ur
+	a.putFG(f)
+	ur.pieceDone()
+}
+
+// runKind selects an extentRun's completion continuation.
+type runKind uint8
+
+const (
+	// runDispatch is a scheduled foreground/background dispatch (the old
+	// dispatch closure).
+	runDispatch runKind = iota
+	// runDelayed is a background propagation write (the old
+	// dispatchDelayed closure).
+	runDelayed
+)
+
+// extentRun drives one replica's extents back-to-back over the bus,
+// replacing the per-dispatch closure chain of the old runExtents. It is the
+// bus.CompletionHandler for its own commands.
+type extentRun struct {
+	a       *Array
+	d       *drive
+	req     *sched.Request
+	extents []disk.Extent
+	op      bus.Op
+	idx     int
+	retried bool
+	retries int
+	// Corruption flags accumulate across the run's extents so the final
+	// completion carries every silent draw, not just the last extent's.
+	latent, corrupt, torn bool
+
+	kind runKind
+	// runDispatch context.
+	choice sched.Choice
+	start  des.Time
+	// runDelayed context (dc is the copy being landed; pr the pooled
+	// request lending its identity).
+	dc *delayedCopy
+	pr *pooledReq
+
+	free bool
+	next *extentRun
+}
+
+// OnCompletion implements bus.CompletionHandler.
+func (r *extentRun) OnCompletion(_ uint64, comp bus.Completion) {
+	r.a.stepRun(r, comp)
+}
+
+// startRun returns a reset extentRun positioned at the first extent; the
+// caller fills the kind context and calls submitExtent.
+func (a *Array) startRun(d *drive, req *sched.Request, extents []disk.Extent) *extentRun {
+	r := a.freeRuns
+	if r == nil {
+		r = &extentRun{a: a}
+	} else {
+		a.freeRuns = r.next
+		r.next = nil
+	}
+	r.free = false
+	r.d = d
+	r.req = req
+	r.extents = extents
+	r.op = bus.OpRead
+	if req.Write {
+		r.op = bus.OpWrite
+	}
+	r.idx = 0
+	r.retried = false
+	r.retries = 0
+	r.latent, r.corrupt, r.torn = false, false, false
+	r.choice = sched.Choice{}
+	r.start = 0
+	r.dc, r.pr = nil, nil
+	return r
+}
+
+func (a *Array) putRun(r *extentRun) {
+	if r.free {
+		panic("core: extent run released twice")
+	}
+	r.free = true
+	if poisonPools {
+		r.d, r.req, r.extents = nil, nil, nil
+		r.idx = -1 << 30
+		r.dc, r.pr = nil, nil
+	}
+	r.next = a.freeRuns
+	a.freeRuns = r
+}
+
+// getUR returns a reset pooled userRequest (its arena and merge buffers
+// keep their backing).
+func (a *Array) getUR() *userRequest {
+	ur := a.freeURs
+	if ur == nil {
+		return &userRequest{a: a, pooled: true}
+	}
+	a.freeURs = ur.next
+	ur.next = nil
+	ur.free = false
+	ur.failed = false
+	ur.err = nil
+	ur.noRecycle = false
+	ur.submitting = false
+	return ur
+}
+
+func (a *Array) putUR(ur *userRequest) {
+	if ur.free {
+		panic("core: userRequest released twice")
+	}
+	ur.free = true
+	if poisonPools {
+		ur.off, ur.count = -1, -1
+		ur.submit = des.Time(-1e18)
+		ur.remaining = -1 << 30
+		ur.done = nil
+	}
+	ur.next = a.freeURs
+	a.freeURs = ur
+}
+
+// getCopy returns a reset delayedCopy. All flag fields start false — the
+// zero value is a plain propagation copy.
+func (a *Array) getCopy() *delayedCopy {
+	c := a.freeCopies
+	if c == nil {
+		return &delayedCopy{}
+	}
+	a.freeCopies = c.next
+	c.next = nil
+	*c = delayedCopy{}
+	return c
+}
+
+func (a *Array) putCopy(c *delayedCopy) {
+	if c.free {
+		panic("core: delayed copy released twice")
+	}
+	c.free = true
+	if poisonPools {
+		c.entry = nil
+		c.extents = nil
+		c.chunk, c.off = -1, -1
+	}
+	c.next = a.freeCopies
+	a.freeCopies = c
+}
+
+// getEntry returns a reset propEntry.
+func (a *Array) getEntry() *propEntry {
+	e := a.freeEntries
+	if e == nil {
+		return &propEntry{}
+	}
+	a.freeEntries = e.next
+	e.next = nil
+	*e = propEntry{}
+	return e
+}
+
+func (a *Array) putEntry(e *propEntry) {
+	if e.free {
+		panic("core: propagation entry released twice")
+	}
+	e.free = true
+	if poisonPools {
+		e.remaining = -1 << 30
+		e.onAllDone = nil
+	}
+	e.next = a.freeEntries
+	a.freeEntries = e
+}
+
+// getChunkState returns a chunkState with a zeroed staleCount sized to the
+// configuration's Dr.
+func (a *Array) getChunkState() *chunkState {
+	dr := a.opts.Config.Dr
+	cs := a.freeChunkStates
+	if cs == nil {
+		return &chunkState{staleCount: make([]int, dr)}
+	}
+	a.freeChunkStates = cs.next
+	cs.next = nil
+	if cap(cs.staleCount) < dr {
+		cs.staleCount = make([]int, dr)
+	} else {
+		cs.staleCount = cs.staleCount[:dr]
+		for i := range cs.staleCount {
+			cs.staleCount[i] = 0
+		}
+	}
+	return cs
+}
+
+func (a *Array) putChunkState(cs *chunkState) {
+	cs.next = a.freeChunkStates
+	a.freeChunkStates = cs
+}
+
+// tagDone runs a completed request's continuation: the kind-dispatched
+// equivalent of the old per-request onDone closures (cold paths keep the
+// closures under tagClosure).
+func (a *Array) tagDone(t *reqTag, last bus.Completion, chosen int) {
+	switch t.kind {
+	case tagClosure:
+		t.onDone(last, chosen)
+	case tagRead:
+		// Verify-on-read: consult the oracle where a real array would check
+		// the extent checksums. A hit fails over to the remaining clean
+		// replicas (queueing an in-place repair); with verification off the
+		// corrupt read flows to the caller and is only counted.
+		bad := a.integrity && a.checkPieceRead(t.d, t.p, chosen, last)
+		if bad && a.opts.VerifyReads {
+			a.noteDetected(t.d, t.p, chosen)
+			if t.hc != nil {
+				t.hc.primaryFail()
+				return
+			}
+			a.submitRead(t.ur, t.p)
+			return
+		}
+		if t.hc != nil {
+			t.hc.primaryDone(bad)
+			return
+		}
+		if bad {
+			a.noteSilent()
+		}
+		t.ur.pieceDone()
+	case tagFGWrite:
+		a.noteCopyWritten(t.d, t.fg.chunk, t.rep, t.fg.ver, t.fg.covers, last)
+		a.fgDone(t.fg)
+	case tagFirstWrite:
+		ur, p := t.ur, t.p
+		ur.pieceDone()
+		a.registerPropagation(p, t.d, chosen, last)
+		a.releaseWriteGate(p.Chunk)
+	case tagPromote:
+		dc := t.dc
+		a.finishCopy(t.d, dc, true, last)
+		a.putCopy(dc)
+	default:
+		panic("core: completion on a recycled request tag")
+	}
+}
+
+// failTag runs a request's failure continuation (drive failure or faulted-
+// out dispatch). It reports whether the continuation re-enqueued the same
+// pooled request (the foreground-write transient-retry path), in which case
+// the caller must not release it.
+func (a *Array) failTag(t *reqTag) (reused bool) {
+	switch t.kind {
+	case tagClosure:
+		if t.onFail != nil {
+			t.onFail()
+		}
+	case tagRead:
+		// A failure with no surviving duplicate retries against the
+		// remaining mirrors (and fails there if none remain).
+		if t.hc != nil {
+			t.hc.primaryFail()
+			return false
+		}
+		a.submitRead(t.ur, t.p)
+	case tagFGWrite:
+		// A copy lost to a drive failure mid-queue still counts toward
+		// completion: the write survives on the remaining copies. A
+		// transient double-fault with the drive alive must land eventually —
+		// the copy is what keeps this mirror fresh.
+		if !t.d.failed {
+			t.pr.req.Arrive = a.sim.Now()
+			a.enqueue(t.d, &t.pr.req)
+			return true
+		}
+		a.fgDone(t.fg)
+	case tagFirstWrite:
+		// All duplicates gone: retry against the survivors (the gate is
+		// still held by this write).
+		a.submitWriteGated(t.ur, t.p)
+	case tagPromote:
+		// Keep trying while the drive lives (the copy holds a staleness
+		// mark that must resolve); with the drive gone the copy is lost but
+		// the entry still resolves.
+		if !t.d.failed {
+			a.promoteCopy(t.d, t.dc)
+			return false
+		}
+		dc := t.dc
+		a.finishCopy(t.d, dc, false, bus.Completion{})
+		a.putCopy(dc)
+	default:
+		panic("core: failure on a recycled request tag")
+	}
+	return false
+}
+
+// allowedFresh is the live scheduling predicate of a delayed-mode first
+// write: while an earlier write to this chunk is still propagating, only
+// its fresh replica may take the new data, or the chunk could end up with
+// no up-to-date copy at all. Semantically identical to consulting
+// freshMask, without materializing the mask at every scheduler evaluation.
+func (t *reqTag) allowedFresh(j int) bool {
+	cs := t.d.stale[t.p.Chunk]
+	if cs == nil {
+		return true
+	}
+	return cs.staleCount[j] == 0
+}

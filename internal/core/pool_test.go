@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+)
+
+// poolStressRun drives a fault-heavy closed loop — transient errors,
+// timeouts, a mid-run drive failure and rebuild onto a spare, delayed-write
+// propagation — and returns a digest of everything observable. Every
+// recycled pooled object (requests, extent runs, user requests, delayed
+// copies) is exercised across all the release paths: clean completion,
+// fault retry, duplicate-claim losers, and the FailDrive sweep.
+func poolStressRun(t *testing.T) string {
+	t.Helper()
+	sim, a := newArray(t, layout.Config{Ds: 1, Dr: 2, Dm: 2}, "rsatf", func(o *Options) {
+		o.Spares = 1
+		o.Faults = disk.FaultModel{TransientRate: 0.02, TimeoutRate: 0.005}
+	})
+	rng := rand.New(rand.NewSource(7))
+	const total = 1500
+	issued, finished, failed := 0, 0, 0
+	var latSum des.Time
+	var issue func()
+	onDone := func(r Result) {
+		finished++
+		if r.Failed {
+			failed++
+		}
+		latSum += r.Latency()
+		issue()
+	}
+	n := a.DataSectors() - 64
+	issue = func() {
+		if issued >= total {
+			return
+		}
+		issued++
+		op := Read
+		if rng.Float64() < 0.4 {
+			op = Write
+		}
+		if err := a.Submit(op, rng.Int63n(n), 8+rng.Intn(56), false, onDone); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		if issued == total/3 {
+			if err := a.FailDrive(1); err != nil {
+				t.Fatalf("FailDrive: %v", err)
+			}
+		}
+	}
+	for i := 0; i < 32; i++ {
+		issue()
+	}
+	for finished < total {
+		if !sim.Step() {
+			t.Fatalf("stalled at %d/%d", finished, total)
+		}
+	}
+	if !a.Drain(des.Hour) {
+		t.Fatal("array never drained")
+	}
+	f := a.Faults()
+	return fmt.Sprintf("finished=%d failed=%d lat=%v now=%v faults=%+v rebuilt=%v",
+		finished, failed, latSum, sim.Now(), f, a.RebuildProgress())
+}
+
+// TestPoolPoisoningAliasRegression runs the fault-heavy loop with pool
+// poisoning off and on. Poisoning scrambles every object as it returns to
+// its free list, so any consumer still holding a released request, run, or
+// copy either panics outright or diverges the digest. Identical digests
+// mean no release path lets an alias escape.
+func TestPoolPoisoningAliasRegression(t *testing.T) {
+	clean := poolStressRun(t)
+	defer SetPoolPoisoning(SetPoolPoisoning(true))
+	poisoned := poolStressRun(t)
+	if clean != poisoned {
+		t.Fatalf("pool poisoning changed the simulation:\nclean:    %s\npoisoned: %s", clean, poisoned)
+	}
+}
+
+// TestPooledSubmitSteadyStateAllocs pins the zero-alloc claim at the API
+// boundary: a steady-state closed loop of pooled reads and delayed-mode
+// writes must stay under a handful of allocations per operation (extent
+// merges and scheduler scratch included, amortized).
+func TestPooledSubmitSteadyStateAllocs(t *testing.T) {
+	sim, a := newArray(t, layout.SRArray(2, 2), "rsatf", nil)
+	rng := rand.New(rand.NewSource(3))
+	n := a.DataSectors() - 8
+	var issue func()
+	issued, finished := 0, 0
+	const total = 4000
+	onDone := func(Result) { finished++; issue() }
+	issue = func() {
+		if issued >= total {
+			return
+		}
+		issued++
+		op := Read
+		if rng.Float64() < 0.3 {
+			op = Write
+		}
+		if err := a.Submit(op, rng.Int63n(n), 8, false, onDone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the pools with a quarter of the run before measuring.
+	for i := 0; i < 16; i++ {
+		issue()
+	}
+	for finished < total/4 {
+		if !sim.Step() {
+			t.Fatal("stalled during warmup")
+		}
+	}
+	start := finished
+	avg := testing.AllocsPerRun(1, func() {
+		for finished < total {
+			if !sim.Step() {
+				t.Fatal("stalled")
+			}
+		}
+	})
+	perOp := avg / float64(total-start)
+	if perOp > 5 {
+		t.Fatalf("steady state allocates %.2f allocs/op, want <= 5", perOp)
+	}
+}

@@ -49,6 +49,20 @@ type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	// fnA/arg is the allocation-free form: a long-lived func(any) plus a
+	// pointer-typed argument boxes nothing at schedule time, whereas a
+	// per-event fn closure costs one heap allocation per capture set.
+	fnA func(any)
+	arg any
+}
+
+// call runs whichever form the event carries.
+func (e *event) call() {
+	if e.fnA != nil {
+		e.fnA(e.arg)
+		return
+	}
+	e.fn()
 }
 
 // eventQueue is a typed 4-ary min-heap ordered by (at, seq). Compared to
@@ -148,6 +162,19 @@ func (s *Sim) At(t Time, fn func()) {
 	s.events.push(event{at: t, seq: s.seq, fn: fn})
 }
 
+// AtArg schedules fn(arg) at absolute time t. Unlike At, which typically
+// forces a fresh closure per event, a caller can reuse one long-lived
+// func(any) and thread per-event state through a pooled pointer argument,
+// making the schedule itself allocation-free. Hot paths (drive completions,
+// request retries) use this form.
+func (s *Sim) AtArg(t Time, fn func(any), arg any) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	s.events.push(event{at: t, seq: s.seq, fnA: fn, arg: arg})
+}
+
 // After schedules fn to run d microseconds from now.
 func (s *Sim) After(d Time, fn func()) {
 	if d < 0 {
@@ -179,7 +206,7 @@ func (s *Sim) RunUntil(t Time) {
 		e := s.events.pop()
 		s.now = e.at
 		s.Processed++
-		e.fn()
+		e.call()
 	}
 	if !s.stopped && s.now < t && !math.IsInf(float64(t), 1) {
 		s.now = t
@@ -195,6 +222,45 @@ func (s *Sim) Step() bool {
 	e := s.events.pop()
 	s.now = e.at
 	s.Processed++
-	e.fn()
+	e.call()
 	return true
+}
+
+// nextAt reports the timestamp of the earliest pending event. The Sharded
+// engine uses it to compute the epoch boundary.
+func (s *Sim) nextAt() (Time, bool) {
+	if len(s.events.ev) == 0 {
+		return 0, false
+	}
+	return s.events.ev[0].at, true
+}
+
+// NextAt reports the timestamp of the earliest pending event, ok=false
+// when the queue is empty. Lockstep co-simulation drivers use it to pick
+// which of several independent Sims to Step next.
+func (s *Sim) NextAt() (Time, bool) { return s.nextAt() }
+
+// runBefore executes events with timestamps strictly below t — the
+// half-open epoch window of the Sharded engine. The clock is left at the
+// last executed event (not advanced to t), so events injected at the epoch
+// barrier with at >= t remain schedulable.
+func (s *Sim) runBefore(t Time) {
+	s.stopped = false
+	for !s.stopped && len(s.events.ev) > 0 {
+		if s.events.ev[0].at >= t {
+			break
+		}
+		e := s.events.pop()
+		s.now = e.at
+		s.Processed++
+		e.call()
+	}
+}
+
+// advanceTo moves the clock forward to t without executing anything;
+// Sharded uses it to land every shard on the horizon after a drain.
+func (s *Sim) advanceTo(t Time) {
+	if !math.IsInf(float64(t), 1) && s.now < t {
+		s.now = t
+	}
 }

@@ -1,0 +1,146 @@
+package des
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// pingPong runs a randomized cross-shard workload on n shards with the
+// given worker count and returns a transcript of every event execution
+// (shard, time, payload) in a deterministic global order. Each shard runs
+// a self-rescheduling local process and fires messages at random peers at
+// legal lookahead distances.
+func pingPong(t *testing.T, shards, workers int, seed int64) string {
+	t.Helper()
+	const look = Time(10)
+	sh := NewSharded(shards, look)
+	sh.SetWorkers(workers)
+	logs := make([][]string, shards) // per-shard transcripts: race-free
+	rngs := make([]*rand.Rand, shards)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(seed + int64(i)))
+	}
+	var hop func(shard, ttl int)
+	hop = func(shard, ttl int) {
+		s := sh.Shard(shard)
+		logs[shard] = append(logs[shard], fmt.Sprintf("s%d@%.2f ttl%d", shard, s.Now(), ttl))
+		if ttl == 0 {
+			return
+		}
+		rng := rngs[shard]
+		to := rng.Intn(shards)
+		delay := look + Time(rng.Float64()*25)
+		if to == shard {
+			s.After(delay, func() { hop(shard, ttl-1) })
+		} else {
+			sh.Send(shard, to, s.Now()+delay, func() { hop(to, ttl-1) })
+		}
+	}
+	for i := 0; i < shards; i++ {
+		i := i
+		sh.Shard(i).At(Time(i), func() { hop(i, 40) })
+	}
+	sh.Run()
+	if sh.Pending() != 0 {
+		t.Fatalf("%d events left", sh.Pending())
+	}
+	out := ""
+	for i, l := range logs {
+		out += fmt.Sprintf("shard %d: %v\n", i, l)
+	}
+	return out
+}
+
+// The tentpole bar: the transcript must be byte-identical for any worker
+// count, including the degenerate sequential engine.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	for _, shards := range []int{1, 3, 8} {
+		want := pingPong(t, shards, 1, 7)
+		for _, w := range []int{2, 4, 8} {
+			if got := pingPong(t, shards, w, 7); got != want {
+				t.Fatalf("shards=%d workers=%d transcript diverged from sequential:\n%s\nvs\n%s", shards, w, got, want)
+			}
+		}
+	}
+}
+
+// A second seed exercises different message interleavings.
+func TestShardedDeterministicSeed2(t *testing.T) {
+	want := pingPong(t, 4, 1, 1234)
+	if got := pingPong(t, 4, 4, 1234); got != want {
+		t.Fatalf("diverged:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// Sending below the lookahead horizon must panic loudly: a lookahead that
+// overstates the real coupling latency breaks the conservative argument.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	sh := NewSharded(2, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on lookahead violation")
+		}
+	}()
+	sh.Shard(0).At(50, func() {
+		sh.Send(0, 1, 60, func() {}) // 60 < 50+100
+	})
+	sh.Run()
+}
+
+// RunUntil must stop at the horizon inclusively and land every shard's
+// clock on it, like Sim.RunUntil.
+func TestShardedRunUntilHorizon(t *testing.T) {
+	sh := NewSharded(2, 10)
+	var ran []string
+	sh.Shard(0).At(100, func() { ran = append(ran, "a@100") })
+	sh.Shard(1).At(100.5, func() { ran = append(ran, "b@100.5") })
+	sh.Shard(1).At(101, func() { ran = append(ran, "c@101") })
+	sh.RunUntil(100.5)
+	if fmt.Sprint(ran) != "[a@100 b@100.5]" {
+		t.Fatalf("ran %v", ran)
+	}
+	for i := 0; i < 2; i++ {
+		if now := sh.Shard(i).Now(); now != 100.5 {
+			t.Fatalf("shard %d clock %v, want 100.5", i, now)
+		}
+	}
+	sh.RunUntil(200)
+	if fmt.Sprint(ran) != "[a@100 b@100.5 c@101]" {
+		t.Fatalf("after second run: %v", ran)
+	}
+}
+
+// AtArg events interleave with closure events in (at, seq) order and pass
+// their argument through unboxed.
+func TestAtArgOrdering(t *testing.T) {
+	s := New()
+	var got []string
+	type payload struct{ name string }
+	fn := func(a any) { got = append(got, a.(*payload).name) }
+	p1, p2 := &payload{"arg1"}, &payload{"arg2"}
+	s.At(5, func() { got = append(got, "closure@5") })
+	s.AtArg(5, fn, p1)
+	s.AtArg(3, fn, p2)
+	s.Run()
+	if fmt.Sprint(got) != "[arg2 closure@5 arg1]" {
+		t.Fatalf("order %v", got)
+	}
+}
+
+// SendArg delivers the allocation-free form across shards.
+func TestShardedSendArg(t *testing.T) {
+	sh := NewSharded(2, 10)
+	hits := 0
+	type box struct{ n int }
+	b := &box{41}
+	sh.Shard(0).At(0, func() {
+		sh.SendArg(0, 1, 20, func(a any) {
+			hits = a.(*box).n + 1
+		}, b)
+	})
+	sh.Run()
+	if hits != 42 {
+		t.Fatalf("hits = %d", hits)
+	}
+}

@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/layout"
+)
+
+// The big-array experiment scales the simulator past one brick: a front-end
+// client stripes a closed-loop workload over many independent MimdRAID
+// bricks (each its own array, drives, and buses) connected by an
+// interconnect with a fixed link latency. Each brick is one shard of a
+// des.Sharded engine; the link latency is the conservative lookahead — no
+// request or completion can cross between client and brick faster than the
+// link carries it, which is exactly the bound the epoch protocol needs.
+//
+// The same world also runs under a naive lockstep driver (globally pick the
+// sim with the earliest event, step it, repeat) — the way a pre-sharding
+// implementation co-simulates several sims. The digest of a run is
+// driver- and worker-count-independent, and the events/sec benchmark uses
+// the lockstep driver as the legacy baseline.
+
+// bigLinkLat is the interconnect latency between the client and a brick —
+// and therefore the sharded engine's lookahead window.
+const bigLinkLat = 150 * des.Microsecond
+
+// BigArraySpec sizes a multi-brick run.
+type BigArraySpec struct {
+	Bricks int
+	Cfg    layout.Config
+	// IOs is the total number of client requests.
+	IOs int
+	// Outstanding is the cluster-wide closed-loop window.
+	Outstanding int
+	Sectors     int
+	ReadFrac    float64
+	Seed        int64
+	// Workers is the epoch worker count (0 = des.ShardWorkers()); ignored
+	// by the lockstep driver.
+	Workers int
+	// Batch primes each brick's share of the initial window through one
+	// SubmitBatch instead of one Submit per request.
+	Batch bool
+}
+
+// BigArrayResult aggregates a multi-brick run.
+type BigArrayResult struct {
+	Drives    int
+	Completed int
+	// Events is the total simulator events executed across all shards.
+	Events uint64
+	// Elapsed is the simulated time of the last completion.
+	Elapsed des.Time
+	IOPS    float64
+	MeanLat des.Time
+	// Digest fingerprints the run: equal digests mean the same simulation
+	// happened, whatever driver or worker count executed it. Latencies are
+	// folded in as integer nanoseconds so the fingerprint is independent of
+	// the order client-side completions were summed in.
+	Digest string
+}
+
+// bigCluster wires the client and bricks onto a set of sims. The client's
+// mutable state lives on sims[0] and is only touched by that shard's
+// events; each array is only touched by its own shard's events — the
+// isolation the epoch protocol requires.
+type bigCluster struct {
+	spec   BigArraySpec
+	sims   []*des.Sim // sims[0] = client, sims[1+b] = brick b
+	arrays []*core.Array
+	send   func(from, to int, at des.Time, fn func())
+
+	rng      *rand.Rand
+	vol      int64
+	issued   int
+	finished int
+	latNs    int64
+	last     des.Time
+	perBrick []int
+}
+
+// buildBigCluster constructs the arrays and the priming event. The sims and
+// the send function come from the driver (epoch or lockstep).
+func buildBigCluster(spec BigArraySpec, sims []*des.Sim, send func(int, int, des.Time, func())) (*bigCluster, error) {
+	c := &bigCluster{
+		spec: spec, sims: sims, send: send,
+		rng:      rand.New(rand.NewSource(spec.Seed)),
+		arrays:   make([]*core.Array, spec.Bricks),
+		perBrick: make([]int, spec.Bricks),
+	}
+	for b := range c.arrays {
+		a, err := core.New(sims[1+b], core.Options{
+			Config: spec.Cfg, Policy: policyFor(spec.Cfg), Seed: spec.Seed + int64(b),
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.arrays[b] = a
+	}
+	c.vol = c.arrays[0].DataSectors() - int64(spec.Sectors)
+	sims[0].At(0, c.prime)
+	return c, nil
+}
+
+// draw picks the next request (brick, offset, op) from the client RNG.
+func (c *bigCluster) draw() (int, int64, core.Op) {
+	b := c.rng.Intn(c.spec.Bricks)
+	off := c.rng.Int63n(c.vol)
+	op := core.Read
+	if c.rng.Float64() >= c.spec.ReadFrac {
+		op = core.Write
+	}
+	return b, off, op
+}
+
+// submit routes one request to brick b over the link; the completion comes
+// back over the link and re-enters the closed loop.
+func (c *bigCluster) submit(b int, off int64, op core.Op, submitAt des.Time) {
+	a := c.arrays[b]
+	sim := c.sims[1+b]
+	if err := a.Submit(op, off, c.spec.Sectors, false, func(core.Result) {
+		c.send(1+b, 0, sim.Now()+bigLinkLat, func() { c.complete(b, submitAt) })
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// prime fills the closed-loop window. It runs as the client shard's first
+// event so the cross-shard sends originate inside the epoch protocol.
+func (c *bigCluster) prime() {
+	window := c.spec.Outstanding
+	if window > c.spec.IOs {
+		window = c.spec.IOs
+	}
+	now := c.sims[0].Now()
+	if c.spec.Batch {
+		// Group the window by brick and deliver each group as one message
+		// carrying one SubmitBatch: the brick validates, resolves, and
+		// queues its whole share before its schedulers run once.
+		batches := make([][]core.BatchOp, c.spec.Bricks)
+		for i := 0; i < window; i++ {
+			b, off, op := c.draw()
+			submitAt := now
+			batches[b] = append(batches[b], core.BatchOp{
+				Op: op, Off: off, Count: c.spec.Sectors,
+				Done: func(core.Result) {
+					c.send(1+b, 0, c.sims[1+b].Now()+bigLinkLat, func() { c.complete(b, submitAt) })
+				},
+			})
+		}
+		c.issued = window
+		for b, ops := range batches {
+			if len(ops) == 0 {
+				continue
+			}
+			b, ops := b, ops
+			c.send(0, 1+b, now+bigLinkLat, func() {
+				if _, err := c.arrays[b].SubmitBatch(ops); err != nil {
+					panic(err)
+				}
+			})
+		}
+		return
+	}
+	for i := 0; i < window; i++ {
+		c.issue()
+	}
+}
+
+// issue sends one request over the link (closed-loop reissue path).
+func (c *bigCluster) issue() {
+	if c.issued >= c.spec.IOs {
+		return
+	}
+	c.issued++
+	b, off, op := c.draw()
+	submitAt := c.sims[0].Now()
+	c.send(0, 1+b, submitAt+bigLinkLat, func() { c.submit(b, off, op, submitAt) })
+}
+
+// complete records one finished request on the client shard and reissues.
+func (c *bigCluster) complete(b int, submitAt des.Time) {
+	now := c.sims[0].Now()
+	c.latNs += int64(math.Round(float64(now-submitAt) * 1000))
+	if now > c.last {
+		c.last = now
+	}
+	c.finished++
+	c.perBrick[b]++
+	c.issue()
+}
+
+// result assembles the run summary from the client-side counters.
+func (c *bigCluster) result(events uint64) *BigArrayResult {
+	r := &BigArrayResult{
+		Drives:    c.spec.Bricks * c.spec.Cfg.Disks(),
+		Completed: c.finished,
+		Events:    events,
+		Elapsed:   c.last,
+	}
+	if c.last > 0 {
+		r.IOPS = float64(c.finished) / (float64(c.last) / 1e6)
+	}
+	if c.finished > 0 {
+		r.MeanLat = des.Time(float64(c.latNs) / float64(c.finished) / 1000)
+	}
+	r.Digest = fmt.Sprintf("issued=%d finished=%d latNs=%d last=%.6f perBrick=%v events=%d",
+		c.issued, c.finished, c.latNs, float64(c.last), c.perBrick, events)
+	return r
+}
+
+// RunBigArray executes the cluster on the sharded epoch engine.
+func RunBigArray(spec BigArraySpec) (*BigArrayResult, error) {
+	sh := des.NewSharded(spec.Bricks+1, bigLinkLat)
+	if spec.Workers > 0 {
+		sh.SetWorkers(spec.Workers)
+	}
+	sims := make([]*des.Sim, spec.Bricks+1)
+	for i := range sims {
+		sims[i] = sh.Shard(i)
+	}
+	c, err := buildBigCluster(spec, sims, sh.Send)
+	if err != nil {
+		return nil, err
+	}
+	sh.Run()
+	if c.finished != c.spec.IOs {
+		return nil, fmt.Errorf("experiments: big array drained at %d/%d completions", c.finished, c.spec.IOs)
+	}
+	return c.result(sh.Processed()), nil
+}
+
+// RunBigArrayLockstep executes the same cluster under the naive global
+// min-clock driver: every event requires a scan over all sims to find the
+// earliest, and cross-sim events are injected directly. This is the legacy
+// way to co-simulate independent sims, and the baseline the events/sec
+// benchmark compares the epoch engine against.
+func RunBigArrayLockstep(spec BigArraySpec) (*BigArrayResult, error) {
+	sims := make([]*des.Sim, spec.Bricks+1)
+	for i := range sims {
+		sims[i] = des.New()
+	}
+	send := func(from, to int, at des.Time, fn func()) {
+		sims[to].At(at, fn)
+	}
+	c, err := buildBigCluster(spec, sims, send)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		best := -1
+		var bt des.Time
+		for i, s := range sims {
+			if at, ok := s.NextAt(); ok && (best < 0 || at < bt) {
+				best, bt = i, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		sims[best].Step()
+	}
+	if c.finished != c.spec.IOs {
+		return nil, fmt.Errorf("experiments: big array drained at %d/%d completions", c.finished, c.spec.IOs)
+	}
+	var events uint64
+	for _, s := range sims {
+		events += s.Processed
+	}
+	return c.result(events), nil
+}
+
+// DefaultBigArraySpec is the 128-drive cluster the benchmark and the
+// bigarray experiment run: 8 bricks of (Ds=4, Dr=2, Dm=2) = 16 drives each.
+func DefaultBigArraySpec(c Config) BigArraySpec {
+	return BigArraySpec{
+		Bricks:      8,
+		Cfg:         layout.Config{Ds: 4, Dr: 2, Dm: 2},
+		IOs:         c.IometerIOs * 4,
+		Outstanding: 128,
+		Sectors:     8,
+		ReadFrac:    0.67,
+		Seed:        c.Seed,
+		Batch:       true,
+	}
+}
+
+// BigArray is the registry experiment: the 128-drive cluster at one, two,
+// and four epoch workers, reporting throughput (identical by construction)
+// and the run fingerprint as metrics.
+func BigArray(c Config) (*Figure, error) {
+	fig := &Figure{
+		Name: "bigarray", Title: "128-drive multi-brick cluster (sharded event loop)",
+		XLabel: "epoch workers", YLabel: "IOPS",
+	}
+	var iops Series
+	iops.Label = "cluster-iops"
+	var first *BigArrayResult
+	for _, w := range []int{1, 2, 4} {
+		spec := DefaultBigArraySpec(c)
+		spec.Workers = w
+		r, err := RunBigArray(spec)
+		if err != nil {
+			return nil, err
+		}
+		if first == nil {
+			first = r
+		} else if r.Digest != first.Digest {
+			return nil, fmt.Errorf("experiments: worker count changed the simulation: %q vs %q", r.Digest, first.Digest)
+		}
+		iops.Add(float64(w), r.IOPS)
+	}
+	fig.Series = append(fig.Series, iops)
+	fig.Metric("drives", float64(first.Drives))
+	fig.Metric("events", float64(first.Events))
+	fig.Metric("mean-latency-us", float64(first.MeanLat))
+	fig.Metric("completed", float64(first.Completed))
+	return fig, nil
+}

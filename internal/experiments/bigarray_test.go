@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+)
+
+func testBigSpec() BigArraySpec {
+	return BigArraySpec{
+		Bricks:      4,
+		Cfg:         layout.Config{Ds: 4, Dr: 2, Dm: 2},
+		IOs:         600,
+		Outstanding: 64,
+		Sectors:     8,
+		ReadFrac:    0.67,
+		Seed:        1,
+	}
+}
+
+// TestShardedMatchesSequential is the sharded engine's contract check: the
+// same cluster must produce an identical digest under the naive lockstep
+// driver and under the epoch engine at one, two, and four workers, batched
+// or not. Run under -race this also exercises the epoch window's isolation
+// claim (no two workers touch the same shard's state inside a window).
+func TestShardedMatchesSequential(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		spec := testBigSpec()
+		spec.Batch = batch
+		base, err := RunBigArrayLockstep(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Completed != spec.IOs {
+			t.Fatalf("lockstep completed %d/%d", base.Completed, spec.IOs)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			spec.Workers = workers
+			r, err := RunBigArray(spec)
+			if err != nil {
+				t.Fatalf("workers=%d batch=%v: %v", workers, batch, err)
+			}
+			if r.Digest != base.Digest {
+				t.Fatalf("workers=%d batch=%v digest diverged:\nepoch:    %s\nlockstep: %s",
+					workers, batch, r.Digest, base.Digest)
+			}
+		}
+	}
+}
+
+// TestBigArrayBatchPrimesSameLoad: batched priming is a different driver
+// (drives schedule against the whole window at once), so digests may
+// differ from unbatched — but the load must be conserved: same request
+// count, all completions accounted for.
+func TestBigArrayBatchPrimesSameLoad(t *testing.T) {
+	spec := testBigSpec()
+	spec.Batch = true
+	r, err := RunBigArrayLockstep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != spec.IOs {
+		t.Fatalf("completed %d/%d", r.Completed, spec.IOs)
+	}
+	if r.Drives != spec.Bricks*spec.Cfg.Disks() {
+		t.Fatalf("drives = %d, want %d", r.Drives, spec.Bricks*spec.Cfg.Disks())
+	}
+	if r.MeanLat <= 0 || r.IOPS <= 0 {
+		t.Fatalf("degenerate result: lat=%v iops=%v", r.MeanLat, r.IOPS)
+	}
+}
+
+// TestPoolPoisoningPreservesFigures runs a figure with pool poisoning on —
+// every recycled request, extent-run, and copy object is scrambled at
+// release — and requires byte-identical output to the unpoisoned run. Any
+// read of a stale pooled object surfaces as a panic or a diverged figure.
+func TestPoolPoisoningPreservesFigures(t *testing.T) {
+	cfg := Config{TraceIOs: 600, IometerIOs: 300, Seed: 1}
+	clean, err := Figure12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.SetPoolPoisoning(core.SetPoolPoisoning(true))
+	poisoned, err := Figure12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Render() != poisoned.Render() {
+		t.Fatalf("pool poisoning changed figure output:\n--- clean ---\n%s--- poisoned ---\n%s",
+			clean.Render(), poisoned.Render())
+	}
+}

@@ -59,6 +59,7 @@ var Registry = map[string]Runner{
 	"ablation-coalesce":      figRunner(AblationCoalesce),
 	"ablation-mirror":        figRunner(AblationMirrorSched),
 	"ablation-opportunistic": figRunner(AblationOpportunistic),
+	"bigarray":               figRunner(BigArray),
 	"degraded-rebuild":       figRunner(DegradedRebuild),
 	"fail-slow":              figRunner(FailSlow),
 	"scrub":                  figRunner(Scrub),

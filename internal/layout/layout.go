@@ -262,6 +262,106 @@ func (l *Layout) replicaExtents(idx int64, n, j int) []disk.Extent {
 	return out
 }
 
+// Arena is reusable backing storage for ResolveArena: all the slices a
+// resolution needs come from four flat buffers that are truncated (not
+// freed) between uses, so a caller resolving many requests through one
+// Arena allocates only until the buffers reach their steady-state
+// capacity. Results are handed out as capacity-limited subslices, so a
+// holder appending to a returned slice (replica merging in the array
+// layer) reallocates privately instead of stomping neighbouring results.
+//
+// An Arena must not be Reset (or passed to ResolveArena again) while any
+// result resolved from it is still in use.
+type Arena struct {
+	pieces  []Piece
+	mirrors []int
+	reps    [][]disk.Extent
+	extents []disk.Extent
+}
+
+// Reset forgets previous contents, retaining capacity.
+func (a *Arena) Reset() {
+	a.pieces = a.pieces[:0]
+	a.mirrors = a.mirrors[:0]
+	a.reps = a.reps[:0]
+	a.extents = a.extents[:0]
+}
+
+// ResolveArena is Resolve backed by ar's buffers (which it Resets first).
+// The returned pieces are value-identical to Resolve's. A nil arena falls
+// back to plain Resolve.
+func (l *Layout) ResolveArena(off int64, count int, ar *Arena) ([]Piece, error) {
+	if ar == nil {
+		return l.Resolve(off, count)
+	}
+	if off < 0 || count <= 0 || off+int64(count) > l.dataSectors {
+		return nil, fmt.Errorf("layout: range [%d,+%d) outside volume of %d sectors", off, count, l.dataSectors)
+	}
+	ar.Reset()
+	g := l.Cfg.Positions()
+	for count > 0 {
+		chunk := off / int64(l.unit)
+		within := int(off % int64(l.unit))
+		n := l.unit - within
+		if n > count {
+			n = count
+		}
+		pos := int(chunk % int64(g))
+		idx := (chunk/int64(g))*int64(l.unit) + int64(within)
+		mStart := len(ar.mirrors)
+		for m := 0; m < l.Cfg.Dm; m++ {
+			ar.mirrors = append(ar.mirrors, m*g+pos)
+		}
+		rStart := len(ar.reps)
+		for j := 0; j < l.Cfg.Dr; j++ {
+			ar.reps = append(ar.reps, nil)
+		}
+		for j := 0; j < l.Cfg.Dr; j++ {
+			ar.reps[rStart+j] = l.replicaExtentsArena(idx, n, j, ar)
+		}
+		mEnd, rEnd := len(ar.mirrors), len(ar.reps)
+		ar.pieces = append(ar.pieces, Piece{
+			Position: pos,
+			Off:      off,
+			Count:    n,
+			Chunk:    chunk,
+			Mirrors:  ar.mirrors[mStart:mEnd:mEnd],
+			Replicas: ar.reps[rStart:rEnd:rEnd],
+		})
+		off += int64(n)
+		count -= n
+	}
+	n := len(ar.pieces)
+	return ar.pieces[0:n:n], nil
+}
+
+// replicaExtentsArena is replicaExtents appending into the arena's flat
+// extent buffer, returning a capacity-limited subslice.
+func (l *Layout) replicaExtentsArena(idx int64, n, j int, ar *Arena) []disk.Extent {
+	start := len(ar.extents)
+	for n > 0 {
+		cyl, track, slot := l.locate(idx)
+		spt := l.Geom.SPTOf(cyl)
+		run := l.slotsPerTrack(spt) - slot
+		if run > n {
+			run = n
+		}
+		s := l.place(cyl, track, slot, j)
+		first := spt - s.Sector
+		if first > run {
+			first = run
+		}
+		ar.extents = append(ar.extents, disk.Extent{Start: s, Count: first})
+		if rest := run - first; rest > 0 {
+			ar.extents = append(ar.extents, disk.Extent{Start: disk.Chs{Cyl: cyl, Head: s.Head, Sector: 0}, Count: rest})
+		}
+		idx += int64(run)
+		n -= run
+	}
+	end := len(ar.extents)
+	return ar.extents[start:end:end]
+}
+
 // Resolve splits the logical range [off, off+count) into pieces, one per
 // stripe chunk touched, each fully resolved to mirror disks and rotational
 // replica extents.

@@ -3,6 +3,7 @@ package layout
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -374,5 +375,69 @@ func TestUsedCylindersMonotoneInVolume(t *testing.T) {
 			t.Fatalf("footprint shrank as volume grew")
 		}
 		prev = l.UsedCylinders()
+	}
+}
+
+func TestResolveArenaMatchesResolve(t *testing.T) {
+	g := geom(t)
+	l, err := New(Config{Ds: 3, Dr: 2, Dm: 2}, g, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar Arena
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		off := rng.Int63n(l.DataSectors() - 1)
+		count := rng.Intn(512) + 1
+		if off+int64(count) > l.DataSectors() {
+			count = int(l.DataSectors() - off)
+		}
+		want, err := l.Resolve(off, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := l.ResolveArena(off, count, &ar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ResolveArena diverged at off=%d count=%d:\n%v\nvs\n%v", off, count, got, want)
+		}
+	}
+}
+
+func TestResolveArenaSteadyStateAllocFree(t *testing.T) {
+	g := geom(t)
+	l, err := New(Config{Ds: 3, Dr: 2, Dm: 2}, g, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar Arena
+	// Warm the arena to its steady-state capacity.
+	for off := int64(0); off < 4096; off += 37 {
+		if _, err := l.ResolveArena(off, 300, &ar); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := l.ResolveArena(12345, 300, &ar); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ResolveArena allocates %.1f objects per call", allocs)
+	}
+}
+
+func TestResolveArenaNilFallsBack(t *testing.T) {
+	g := geom(t)
+	l, err := New(Config{Ds: 2, Dr: 2, Dm: 1}, g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := l.Resolve(100, 50)
+	got, err := l.ResolveArena(100, 50, nil)
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("nil-arena resolve diverged (err=%v)", err)
 	}
 }

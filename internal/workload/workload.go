@@ -30,6 +30,14 @@ type Iometer struct {
 	// reported latency and IOPS (completions before the trimmed window
 	// still count toward Completed). Zero measures the whole run.
 	Warmup des.Time
+	// Batch primes the initial Outstanding window through Array.SubmitBatch
+	// instead of one Submit per request: each touched drive schedules once
+	// against the full window rather than after every submission. The
+	// steady-state loop is unaffected (each completion reissues one
+	// request). Scheduling decisions during the priming burst may differ
+	// from the unbatched driver, so figures that pin exact outputs keep
+	// Batch off.
+	Batch bool
 }
 
 // Result aggregates a run.
@@ -85,30 +93,55 @@ func (w Iometer) Run(sim *des.Sim, a *core.Array, total int) (*Result, error) {
 	finished := 0
 	measured := 0
 	errs := []error{}
+	// One completion closure for the whole run: the per-request state lives
+	// in the captured counters, so the hot loop allocates nothing per I/O.
 	var issue func()
+	onDone := func(r core.Result) {
+		if r.Done >= measureFrom {
+			res.Latency.Add(r.Latency())
+			measured++
+		}
+		finished++
+		issue()
+	}
+	nextReq := func() (core.Op, int64) {
+		op := core.Read
+		if rng.Float64() >= w.ReadFrac {
+			op = core.Write
+		}
+		return op, nextOff()
+	}
 	issue = func() {
 		if issued >= total {
 			return
 		}
 		issued++
-		op := core.Read
-		if rng.Float64() >= w.ReadFrac {
-			op = core.Write
-		}
-		if err := a.Submit(op, nextOff(), w.Sectors, false, func(r core.Result) {
-			if r.Done >= measureFrom {
-				res.Latency.Add(r.Latency())
-				measured++
-			}
-			finished++
-			issue()
-		}); err != nil {
+		op, off := nextReq()
+		if err := a.Submit(op, off, w.Sectors, false, onDone); err != nil {
 			errs = append(errs, err)
 			finished++
 		}
 	}
-	for i := 0; i < w.Outstanding && i < total; i++ {
-		issue()
+	prime := w.Outstanding
+	if total < prime {
+		prime = total
+	}
+	if w.Batch {
+		ops := make([]core.BatchOp, prime)
+		for i := range ops {
+			op, off := nextReq()
+			ops[i] = core.BatchOp{Op: op, Off: off, Count: w.Sectors, Done: onDone}
+		}
+		issued = prime
+		n, err := a.SubmitBatch(ops)
+		if err != nil {
+			errs = append(errs, err)
+			finished += prime - n
+		}
+	} else {
+		for i := 0; i < prime; i++ {
+			issue()
+		}
 	}
 	for finished < total {
 		if !sim.Step() {
@@ -159,9 +192,18 @@ func Replay(sim *des.Sim, a *core.Array, tr *trace.Trace) (*ReplayResult, error)
 	}
 	res := &ReplayResult{}
 	finished := 0
-	// Arrivals self-schedule one ahead to keep the event queue small.
+	// Arrivals self-schedule one ahead to keep the event queue small; only
+	// one arrival event is ever outstanding, so a single event closure and a
+	// shared cursor replace the per-record closures of the old driver.
 	base := sim.Now()
-	var arrive func(i int)
+	onDone := func(cr core.Result) {
+		if cr.Async {
+			res.Async.Add(cr.Latency())
+		} else {
+			res.Sync.Add(cr.Latency())
+		}
+		finished++
+	}
 	submitOne := func(r trace.Record) error {
 		op := core.Read
 		if r.Write {
@@ -175,45 +217,41 @@ func Replay(sim *des.Sim, a *core.Array, tr *trace.Trace) (*ReplayResult, error)
 		if off+int64(count) > a.DataSectors() {
 			off = a.DataSectors() - int64(count)
 		}
-		async := r.Async
-		return a.Submit(op, off, count, async, func(cr core.Result) {
-			if cr.Async {
-				res.Async.Add(cr.Latency())
-			} else {
-				res.Sync.Add(cr.Latency())
-			}
-			finished++
-		})
+		return a.Submit(op, off, count, r.Async, onDone)
 	}
 	stopped := false
-	arrive = func(i int) {
-		if i >= len(tr.Records) || stopped {
+	next := 0
+	var arriveEvt func()
+	schedule := func() {
+		if next >= len(tr.Records) || stopped {
 			return
 		}
-		rec := tr.Records[i]
-		at := base + rec.At
+		at := base + tr.Records[next].At
 		if at < sim.Now() {
 			at = sim.Now()
 		}
-		sim.At(at, func() {
-			if err := submitOne(rec); err != nil {
-				panic(err)
-			}
-			res.Submitted++
-			for d := 0; d < a.Disks(); d++ {
-				if q := a.QueueLen(d); q > res.MaxQueue {
-					res.MaxQueue = q
-				}
-			}
-			if res.MaxQueue > SaturationQueue {
-				res.Saturated = true
-				stopped = true
-				return
-			}
-			arrive(i + 1)
-		})
+		sim.At(at, arriveEvt)
 	}
-	arrive(0)
+	arriveEvt = func() {
+		rec := tr.Records[next]
+		next++
+		if err := submitOne(rec); err != nil {
+			panic(err)
+		}
+		res.Submitted++
+		for d := 0; d < a.Disks(); d++ {
+			if q := a.QueueLen(d); q > res.MaxQueue {
+				res.MaxQueue = q
+			}
+		}
+		if res.MaxQueue > SaturationQueue {
+			res.Saturated = true
+			stopped = true
+			return
+		}
+		schedule()
+	}
+	schedule()
 	for finished < res.Submitted || !stopped && finished < len(tr.Records) {
 		if !sim.Step() {
 			if res.Saturated && finished >= res.Submitted {

@@ -197,6 +197,52 @@ func (a *Array) WriteAsync(off int64, count int, done func(Result)) error {
 	return a.Submit(core.Write, off, count, true, done)
 }
 
+// BatchOp is one operation of a SubmitBatch: Op is mimdraid.OpRead or
+// mimdraid.OpWrite, the rest mirror the Submit parameters.
+type BatchOp = core.BatchOp
+
+// Op selects read or write in a BatchOp.
+type Op = core.Op
+
+// BatchOp opcodes.
+const (
+	OpRead  = core.Read
+	OpWrite = core.Write
+)
+
+// SubmitBatch issues a batch of operations with amortized dispatch: every
+// operation is validated, resolved, and routed into the drive queues
+// before any drive schedules, and each touched drive is then kicked
+// exactly once. Callers carrying queues of accumulated work (closed-loop
+// drivers priming a window, caches flushing) get one scheduling pass per
+// drive instead of one per operation. Operations submit in order; the
+// first error stops the batch and the count of submitted operations is
+// returned alongside it.
+func (a *Array) SubmitBatch(ops []BatchOp) (int, error) {
+	return a.Array.SubmitBatch(ops)
+}
+
+// SetShardWorkers sets the process-wide worker count used by sharded
+// multi-brick simulations (des.Sharded engines); the CLIs' -shards flag
+// lands here. It returns the previous setting.
+func SetShardWorkers(n int) int { return des.SetShardWorkers(n) }
+
+// ShardWorkers reports the current sharded-engine worker count.
+func ShardWorkers() int { return des.ShardWorkers() }
+
+// ShardedSim is a conservative-lookahead parallel driver over several
+// independent Sims — one per "brick" (array plus drives plus workload).
+// Cross-brick events must be scheduled through Send/SendArg with
+// timestamps at least the lookahead past the sender's clock; output is
+// byte-identical for any worker count.
+type ShardedSim = des.Sharded
+
+// NewShardedSim returns an engine over n fresh shards with the given
+// lookahead (a lower bound on any cross-shard interaction latency).
+func NewShardedSim(n int, lookahead Time) *ShardedSim {
+	return des.NewSharded(n, lookahead)
+}
+
 // Workload profiles a workload for configuration recommendation, in the
 // terms of the paper's models.
 type Workload struct {

@@ -9,11 +9,15 @@
 #
 #   scripts/bench.sh guard
 #
-# Guard mode is the disabled-metrics overhead gate: it runs the DES and
-# scheduler hot-path benchmarks (which build arrays with no obs.Registry
-# attached) and fails if any reports a nonzero allocs/op — the observability
-# layer must stay free when disabled. Set BASELINE=<file> to also fail if
-# DESPushPop ns/op regresses more than 25% against a previous run's stream.
+# Guard mode gates two hot-path properties. First, the disabled-metrics
+# overhead: the DES and scheduler benchmarks (which build arrays with no
+# obs.Registry attached) must report zero allocs/op — the observability
+# layer must stay free when disabled. Second, the pooled request path: the
+# end-to-end Figure 6 benchmark must stay under FIG6_ALLOC_CAP allocs/op
+# (default 260000, one fifth of the pre-pooling baseline) — a regression
+# here means a request, extent-run, or completion object stopped being
+# recycled. Set BASELINE=<file> to also fail if DESPushPop ns/op regresses
+# more than 25% against a previous run's stream.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -44,7 +48,19 @@ if [ "${1:-}" = "guard" ]; then
             }'
         fi
     fi
-    echo "guard: hot paths allocation-free with metrics disabled"
+    fig6=$(go test -run '^$' -bench 'BenchmarkFigure6CelloBase$' -benchtime 1x -benchmem .)
+    echo "$fig6"
+    echo "$fig6" | tr '\t' ' ' | awk -v cap="${FIG6_ALLOC_CAP:-260000}" '
+        /BenchmarkFigure6CelloBase/ {
+            for (i = 1; i <= NF; i++) if ($(i+1) == "allocs/op") {
+                if ($i + 0 > cap) {
+                    printf "FAIL: Figure6 pooled request path allocates %d allocs/op (cap %d)\n", $i, cap
+                    exit 1
+                }
+                printf "Figure6 pooled request path: %d allocs/op (cap %d): ok\n", $i, cap
+            }
+        }'
+    echo "guard: hot paths allocation-free with metrics disabled; pooled request path under alloc cap"
     exit 0
 fi
 

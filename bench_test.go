@@ -315,3 +315,21 @@ func BenchmarkBreakdown(b *testing.B) {
 		"sr-rotation-us":     {"rotation", 2.0},
 	})
 }
+
+// BenchmarkChaos runs the crash/power-fail experiment end to end: the
+// recovery micro once per NVRAM durability mode, then the scripted chaos
+// scenario over the four-brick cluster at 1/2/4 epoch workers (digest
+// equality asserted inside). Headline tolerance metrics ride along.
+func BenchmarkChaos(b *testing.B) {
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Chaos(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fig.Metrics["cluster/slo_pct"], "slo%")
+	b.ReportMetric(fig.Metrics["cluster/divergent_after"], "divergent-after")
+	b.ReportMetric(fig.Metrics["recovery/volatile/repaired"], "volatile-repaired")
+}

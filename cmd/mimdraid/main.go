@@ -45,7 +45,10 @@ func main() {
 	)
 	flag.Parse()
 	runner.SetParallelism(*parallel)
-	des.SetShardWorkers(*shards)
+	if _, err := des.SetShardWorkers(*shards); err != nil {
+		fmt.Fprintf(os.Stderr, "mimdraid: -shards %d: %v\n", *shards, err)
+		os.Exit(2)
+	}
 
 	if *pprofAddr != "" {
 		go func() {

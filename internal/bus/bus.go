@@ -170,8 +170,11 @@ type Drive struct {
 	tcqDepth int
 	tcq      []tcqEntry
 
-	// freePending recycles completion-event carriers.
+	// freePending recycles completion-event carriers; inflight is the
+	// carrier of the command currently on the mechanism (nil when idle),
+	// kept so PowerFail can tear it.
 	freePending *pending
+	inflight    *pending
 
 	// Stats
 	Commands int64
@@ -208,7 +211,11 @@ type pending struct {
 	h     CompletionHandler
 	token uint64
 	comp  Completion
-	next  *pending
+	// dead marks a completion event orphaned by a power failure: the DES
+	// heap still holds it, so firePending recycles the carrier without
+	// touching the drive or delivering anything.
+	dead bool
+	next *pending
 }
 
 func (d *Drive) getPending() *pending {
@@ -229,8 +236,17 @@ func (d *Drive) getPending() *pending {
 func firePending(a any) {
 	p := a.(*pending)
 	d := p.d
+	if p.dead {
+		p.dead = false
+		p.h = nil
+		p.comp = Completion{}
+		p.next = d.freePending
+		d.freePending = p
+		return
+	}
 	comp := p.comp
 	h, token := p.h, p.token
+	d.inflight = nil
 	d.arm = comp.ArmAfter
 	d.busy = false
 	d.BusyTime += comp.Observed - comp.Submitted
@@ -423,6 +439,7 @@ func (d *Drive) start(cmd Command, h CompletionHandler, token uint64) {
 		// ArmAfter = the unmoved arm: firePending's unconditional arm update
 		// is a no-op here, as the mechanism never serviced anything.
 		p.comp = Completion{Cmd: cmd, Submitted: now, Observed: observed, Fault: fault, ArmAfter: d.arm}
+		d.inflight = p
 		d.sim.AtArg(observed, firePending, p)
 		return
 	}
@@ -469,5 +486,31 @@ func (d *Drive) start(cmd Command, h CompletionHandler, token uint64) {
 		Timing:    tm,
 		ArmAfter:  tm.End,
 	}
+	d.inflight = p
 	d.sim.AtArg(observed, firePending, p)
+}
+
+// PowerFail models an instantaneous power loss: the command on the
+// mechanism is abandoned mid-transfer (a write in flight leaves garbage on
+// the platter — the torn-write outcome) and the drive's internal tag queue
+// is dropped. visit is called for the in-flight command first (inFlight
+// true), then for each queued tagged command in queue order (inFlight
+// false), so the host can resolve its own bookkeeping for every command
+// the drive will never complete. The already-scheduled completion event is
+// orphaned, not delivered. After PowerFail the drive is idle and accepts
+// commands again as soon as the host chooses to restart it.
+func (d *Drive) PowerFail(visit func(cmd Command, h CompletionHandler, token uint64, inFlight bool)) {
+	if p := d.inflight; p != nil {
+		p.dead = true
+		d.inflight = nil
+		d.busy = false
+		// The mechanism stops wherever the interrupted service would have
+		// left it — deterministic, and harmless to the recovery model.
+		d.arm = p.comp.ArmAfter
+		visit(p.comp.Cmd, p.h, p.token, true)
+	}
+	for _, e := range d.tcq {
+		visit(e.cmd, e.h, e.token, false)
+	}
+	d.tcq = d.tcq[:0]
 }

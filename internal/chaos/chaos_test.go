@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func stdOptions() Options {
+	return Options{
+		Bricks: 4, DrivesPerBrick: 16,
+		Horizon:    des.Second,
+		DriveFails: 2, SlowDrives: 2, BrickCrashes: 2, ScrubPasses: 2, LoadBursts: 1,
+	}
+}
+
+// The generator is a pure function of (seed, options): identical inputs
+// must yield byte-identical timelines, different seeds different ones.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(7, stdOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(7, stdOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Timeline() != b.Timeline() {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", a.Timeline(), b.Timeline())
+	}
+	c, err := Generate(8, stdOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Timeline() == c.Timeline() {
+		t.Fatal("different seeds produced identical timelines")
+	}
+}
+
+// Structural invariants: events sorted, inside the horizon, crashes on
+// distinct bricks each paired with a later recovery, drive failures on
+// distinct bricks, slow onsets paired with clearing events.
+func TestGenerateInvariants(t *testing.T) {
+	o := stdOptions()
+	o.Start = 100 * des.Millisecond
+	sc, err := Generate(3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(sc.Events, func(i, j int) bool { return sc.Events[i].At < sc.Events[j].At }) {
+		t.Fatalf("events not time-sorted:\n%s", sc.Timeline())
+	}
+	crashAt := map[int]des.Time{}
+	failBricks := map[int]bool{}
+	slowOpen := map[[2]int]int{}
+	for _, e := range sc.Events {
+		if e.At < o.Start || e.At > o.Start+o.Horizon {
+			t.Fatalf("event outside horizon: %s", e)
+		}
+		switch e.Kind {
+		case BrickCrash:
+			if _, dup := crashAt[e.Brick]; dup {
+				t.Fatalf("brick %d crashed twice", e.Brick)
+			}
+			crashAt[e.Brick] = e.At
+		case BrickRecover:
+			at, ok := crashAt[e.Brick]
+			if !ok || e.At <= at {
+				t.Fatalf("recover without earlier crash: %s", e)
+			}
+		case DriveFail:
+			if failBricks[e.Brick] {
+				t.Fatalf("two drive failures in brick %d", e.Brick)
+			}
+			failBricks[e.Brick] = true
+			if e.Drive < 0 || e.Drive >= o.DrivesPerBrick {
+				t.Fatalf("drive out of range: %s", e)
+			}
+		case SlowDrive:
+			k := [2]int{e.Brick, e.Drive}
+			if e.Factor > 1 {
+				slowOpen[k]++
+			} else {
+				slowOpen[k]--
+			}
+		case LoadBurst:
+			if e.Brick != ClientBrick {
+				t.Fatalf("load burst targeting brick %d", e.Brick)
+			}
+		}
+	}
+	if len(crashAt) != o.BrickCrashes {
+		t.Fatalf("%d crashes, want %d", len(crashAt), o.BrickCrashes)
+	}
+	for k, n := range slowOpen {
+		if n != 0 {
+			t.Fatalf("unbalanced slow window on %v: %d", k, n)
+		}
+	}
+	want := 2*o.BrickCrashes + o.DriveFails + 2*o.SlowDrives + o.ScrubPasses + o.LoadBursts
+	if len(sc.Events) != want {
+		t.Fatalf("%d events, want %d", len(sc.Events), want)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"no bricks", func(o *Options) { o.Bricks = 0 }},
+		{"zero horizon", func(o *Options) { o.Horizon = 0 }},
+		{"negative start", func(o *Options) { o.Start = -1 }},
+		{"negative count", func(o *Options) { o.ScrubPasses = -1 }},
+		{"drive events without drives", func(o *Options) { o.DrivesPerBrick = 0 }},
+		{"too many drive fails", func(o *Options) { o.DriveFails = o.Bricks + 1 }},
+		{"too many crashes", func(o *Options) { o.BrickCrashes = o.Bricks + 1 }},
+		{"sub-unity slow factor", func(o *Options) { o.SlowFactor = 0.5 }},
+		{"outage fraction", func(o *Options) { o.OutageFrac = 1.5 }},
+	}
+	for _, c := range cases {
+		o := stdOptions()
+		c.mod(&o)
+		if _, err := Generate(1, o); err == nil {
+			t.Errorf("%s: Generate accepted invalid options", c.name)
+		}
+	}
+}
+
+// Arm must deliver exactly the target brick's events, at their timestamps,
+// in timeline order, as ordinary simulator events.
+func TestArmFiltersAndOrders(t *testing.T) {
+	sc, err := Generate(11, stdOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	perBrick := map[int]int{}
+	for _, e := range sc.Events {
+		perBrick[e.Brick]++
+		if e.Brick == 1 {
+			want = append(want, e.String())
+		}
+	}
+	sim := des.New()
+	var got []string
+	n := Arm(sim, sc, 1, func(e Event) {
+		if now := sim.Now(); now != e.At {
+			t.Errorf("event fired at %v, scheduled %v", now, e.At)
+		}
+		got = append(got, e.String())
+	})
+	if n != perBrick[1] {
+		t.Fatalf("armed %d events, brick 1 has %d", n, perBrick[1])
+	}
+	sim.Run()
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("delivered:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// Timelines embed every field, so two scenarios differing in any event
+// render differently (the digest contract).
+func TestTimelineCoversFields(t *testing.T) {
+	sc, err := Generate(5, stdOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := sc.Timeline()
+	if !strings.HasPrefix(tl, fmt.Sprintf("seed=%d events=%d\n", sc.Seed, len(sc.Events))) {
+		t.Fatalf("timeline header missing: %q", tl)
+	}
+	for _, k := range []string{"brick-crash", "brick-recover", "drive-fail", "slow-drive", "scrub-pass", "load-burst"} {
+		if !strings.Contains(tl, k) {
+			t.Fatalf("timeline missing %s:\n%s", k, tl)
+		}
+	}
+}

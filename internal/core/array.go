@@ -153,6 +153,12 @@ type Options struct {
 	// background-class verify reads and repairing what they catch. See
 	// ScrubOptions.
 	Scrub ScrubOptions
+	// Crash enables the whole-array power-failure model: Crash()/Recover()
+	// become available (or fire automatically at CrashModel.At), NVRAM
+	// durability follows CrashModel.Durability, and restart runs the
+	// recovery pipeline. The zero value disables the model entirely and
+	// keeps every hot path untouched. See CrashModel.
+	Crash CrashModel
 
 	// Obs, when non-nil, attaches the array to an observability registry:
 	// per-drive latency histograms, scheduler decision counters, fault and
@@ -200,8 +206,9 @@ type Array struct {
 	// writeGate serializes delayed-mode first-copy writes per chunk: two
 	// concurrent first copies of the same chunk landing on different
 	// mirror disks would each mark the other's disk stale, leaving no
-	// fresh replica anywhere.
-	writeGate map[int64][]func()
+	// fresh replica anywhere. Waiters carry their userRequest so a crash
+	// can fail them instead of running them against a dead array.
+	writeGate map[int64][]gateWaiter
 
 	nvramCap  int
 	nvramUsed int
@@ -229,6 +236,25 @@ type Array struct {
 	// accumulates its counters (surviving scrubber completion).
 	scrub    *scrubState
 	scrubCtr ScrubCounters
+
+	// Crash/recovery state (see crash.go and recovery.go). crashed marks
+	// the power-failed window between Crash and Recover; crashSnap holds
+	// the battery-backed NVRAM snapshot taken at the instant of the crash;
+	// crashDelayed counts the delayed propagation copies that were pending
+	// then. crashScrub* remember an interrupted scrub pass for resumption.
+	// recScan is the active post-recovery divergence scan; recCtr
+	// accumulates crash/recovery counters across cycles.
+	crashed          bool
+	crashAt          des.Time
+	crashSnap        []byte
+	crashDelayed     int64
+	crashScrubActive bool
+	crashScrubOpts   ScrubOptions
+	recScan          *recoveryScan
+	recCtr           RecoveryCounters
+	// slowEpoch counts SetDriveSlow calls so each mid-run profile draws a
+	// fresh deterministic stutter stream.
+	slowEpoch int64
 
 	// hedgeLat accumulates clean foreground read service times for the
 	// adaptive hedge delay (maintained only when Hedge is on and
@@ -400,6 +426,9 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 	if err := opts.Scrub.validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.Crash.Validate(); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	// Build a reference drive to size the volume.
@@ -429,12 +458,15 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 	}
 	a := &Array{
 		sim: sim, opts: opts, lay: lay, nvramCap: opts.NVRAMEntries,
-		writeGate:  make(map[int64][]func()),
+		writeGate:  make(map[int64][]gateWaiter),
 		lostChunks: make(map[int64]bool),
 	}
 	// The oracle runs whenever something can corrupt data or consult the
 	// check; otherwise the committed map stays nil and no path touches it.
-	a.integrity = opts.Faults.CorruptionEnabled() || opts.VerifyReads || opts.Scrub.Enabled
+	// The crash model needs it too: the recovery scan walks content
+	// versions to find replicas a lost delayed copy left divergent.
+	a.integrity = opts.Faults.CorruptionEnabled() || opts.VerifyReads || opts.Scrub.Enabled ||
+		opts.Crash.Enabled
 	if a.integrity {
 		a.committed = make(map[int64]uint64)
 	}
@@ -544,6 +576,9 @@ func New(sim *des.Sim, opts Options) (*Array, error) {
 			return nil, err
 		}
 	}
+	if opts.Crash.Enabled && opts.Crash.At > 0 {
+		a.scheduleCrash(opts.Crash.At, opts.Crash.RecoverAfter)
+	}
 	return a, nil
 }
 
@@ -602,6 +637,9 @@ func (a *Array) nextID() uint64 {
 // array rejects the request synchronously with ErrOverload (done is never
 // invoked) — callers shed load instead of deepening a saturated queue.
 func (a *Array) Submit(op Op, off int64, count int, async bool, done func(Result)) error {
+	if a.crashed {
+		return ErrCrashed
+	}
 	ur := a.getUR()
 	pieces, err := a.lay.ResolveArena(off, count, &ur.arena)
 	if err != nil {
@@ -686,6 +724,39 @@ func (a *Array) SubmitBatch(ops []BatchOp) (int, error) {
 	a.deferKicks = false
 	a.flushKicks()
 	return n, err
+}
+
+// SubmitBatchErrs issues the batch like SubmitBatch but does not stop at
+// the first failed submission: every operation is attempted in order, and
+// per-operation submit errors (resolve errors, ErrOverload, ErrCrashed)
+// are returned in an index-aligned slice. A nil slice means every
+// operation was submitted. An operation whose slot is non-nil was never
+// queued and its Done will not run; an operation whose slot is nil is
+// queued exactly as Submit would have queued it. Note that
+// ErrDeadlineExceeded is never a submission error — a read that waits out
+// Options.ReadDeadline in a queue reports it through its Done result. The
+// count of successfully submitted operations is returned alongside.
+func (a *Array) SubmitBatchErrs(ops []BatchOp) ([]error, int) {
+	if a.deferKicks {
+		panic("core: SubmitBatchErrs reentered")
+	}
+	a.deferKicks = true
+	var errs []error
+	n := 0
+	for i := range ops {
+		o := &ops[i]
+		if e := a.Submit(o.Op, o.Off, o.Count, o.Async, o.Done); e != nil {
+			if errs == nil {
+				errs = make([]error, len(ops))
+			}
+			errs[i] = e
+			continue
+		}
+		n++
+	}
+	a.deferKicks = false
+	a.flushKicks()
+	return errs, n
 }
 
 // flushKicks kicks every drive recorded during a deferred-kick window, in

@@ -97,11 +97,12 @@ type delayedCopy struct {
 	// tracked by drive.missing).
 	rebuild bool
 	// repair marks an in-place rewrite of a detected-corrupt copy (queued
-	// by verify-on-read or the scrubber — scrub tells them apart for
-	// counting). Repairs carry no staleness marks and no NVRAM slot: a
-	// crash just loses the intent and the copy is re-detected later.
+	// by verify-on-read, the scrubber, or the recovery scan — origin tells
+	// them apart for counting). Repairs carry no staleness marks and no
+	// NVRAM slot: a crash just loses the intent and the copy is re-detected
+	// later.
 	repair bool
-	scrub  bool
+	origin repairOrigin
 	// poison marks a copy whose write content is garbage (an unverified
 	// rebuild faithfully copying a corrupt source): landing it poisons the
 	// destination instead of refreshing it.
@@ -112,6 +113,15 @@ type delayedCopy struct {
 
 	free bool         // on the free list (see pool.go)
 	next *delayedCopy //
+}
+
+// gateWaiter is one deferred write parked behind a chunk's write gate. ur
+// is non-nil for user writes, so a crash can fail the waiter with
+// ErrCrashed instead of running it; rebuild's chunk-start waiters leave it
+// nil (the crash teardown cancels the rebuild separately).
+type gateWaiter struct {
+	run func()
+	ur  *userRequest
 }
 
 // submitWrite routes one write piece. In foreground mode every copy is a
@@ -125,7 +135,10 @@ func (a *Array) submitWrite(ur *userRequest, p *layout.Piece) {
 	// must not interleave with a write of the same chunk); foreground
 	// writes queue behind it but never acquire it themselves.
 	if waiting, gated := a.writeGate[p.Chunk]; gated {
-		a.writeGate[p.Chunk] = append(waiting, func() { a.submitWriteGated(ur, p) })
+		a.writeGate[p.Chunk] = append(waiting, gateWaiter{
+			run: func() { a.submitWriteGated(ur, p) },
+			ur:  ur,
+		})
 		return
 	}
 	if !a.opts.ForegroundWrites {
@@ -146,7 +159,7 @@ func (a *Array) releaseWriteGate(chunk int64) {
 		// not re-acquire, so flush every waiter at once.
 		delete(a.writeGate, chunk)
 		for _, w := range waiting {
-			w()
+			w.run()
 		}
 		return
 	}
@@ -156,7 +169,7 @@ func (a *Array) releaseWriteGate(chunk int64) {
 	}
 	next := waiting[0]
 	a.writeGate[chunk] = waiting[1:]
-	next()
+	next.run()
 }
 
 func (a *Array) submitWriteGated(ur *userRequest, p *layout.Piece) {
@@ -399,7 +412,7 @@ func (a *Array) dispatchDelayed(d *drive) {
 func (a *Array) finishCopy(d *drive, c *delayedCopy, clean bool, last bus.Completion) {
 	switch {
 	case c.repair:
-		a.noteRepairEnd(c.scrub, clean && !d.failed)
+		a.noteRepairEnd(c.origin, clean && !d.failed)
 	case c.rebuild:
 		// Reconstruction copies never marked staleness.
 	default:
@@ -480,10 +493,18 @@ func (a *Array) RecoverDelayed() int {
 // work. An active rebuild counts as work even between paced chunks, and so
 // does a running scrub pass, so Drain waits for both to finish.
 func (a *Array) Idle() bool {
+	if a.crashed {
+		// A powered-off array is waiting for recovery, not idle: Drain must
+		// run through a scheduled Recover rather than stopping at the outage.
+		return false
+	}
 	if a.rebuild != nil {
 		return false
 	}
 	if a.scrub != nil && !a.scrub.done {
+		return false
+	}
+	if a.recScan != nil && !a.recScan.done {
 		return false
 	}
 	for _, d := range a.drives {
@@ -524,9 +545,11 @@ func (a *Array) SnapshotNVRAM() ([]byte, error) {
 	var entries []nvramEntry
 	for _, d := range a.drives {
 		for _, c := range d.delayed {
-			if c.rebuild {
-				// Reconstruction copies are not table entries; a restarted
-				// array recomputes them from the missing-chunk set.
+			if c.rebuild || c.repair {
+				// Reconstruction copies are not table entries (a restarted
+				// array recomputes them from the missing-chunk set), and
+				// repairs hold no NVRAM slot — a crash loses the intent and
+				// the corrupt copy is re-detected later.
 				continue
 			}
 			entries = append(entries, nvramEntry{

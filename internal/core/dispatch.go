@@ -124,7 +124,7 @@ func (a *Array) kick(d *drive) {
 		}
 		return
 	}
-	if d.failed || d.bus.Free() == 0 {
+	if a.crashed || d.failed || d.bus.Free() == 0 {
 		return
 	}
 	now := a.sim.Now()

@@ -29,4 +29,9 @@ var (
 	// replica known-corrupt: detection worked, but no clean copy remains to
 	// fail over to (repair, if possible, has been queued).
 	ErrCorruptData = errors.New("core: all replicas corrupt")
+	// ErrCrashed reports a request caught by a whole-array power failure:
+	// queued and in-flight work is abandoned, and submissions while the
+	// array is down are rejected. The request may or may not have reached
+	// the media; crash recovery resolves what actually survived.
+	ErrCrashed = errors.New("core: array crashed, request lost")
 )

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/bus"
 	"repro/internal/disk"
 )
@@ -101,4 +103,25 @@ func (a *Array) noteCorruption(d *drive, comp bus.Completion) {
 	if d.rec != nil {
 		d.rec.Corruption(comp.Latent, comp.Corrupt, comp.Torn)
 	}
+}
+
+// SetDriveSlow attaches a fail-slow profile to drive slot i at the current
+// instant — the chaos engine's mid-run "drive turns slow" event. A
+// disabled (zero) profile restores the drive to full speed. Each call
+// draws a fresh deterministic stutter stream from the array seed, the slot
+// and a per-array call counter, so timelines replay byte-identically.
+func (a *Array) SetDriveSlow(i int, p disk.SlowProfile) error {
+	if i < 0 || i >= len(a.drives) {
+		return fmt.Errorf("core: no drive %d to slow", i)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if a.crashed {
+		return ErrCrashed
+	}
+	a.slowEpoch++
+	seed := a.opts.Seed + int64(i)*32452843 + 11 + a.slowEpoch*104729
+	a.drives[i].bus.SetSlow(disk.NewSlowState(p, seed))
+	return nil
 }

@@ -303,6 +303,21 @@ func (hc *hedgeCtl) hedgeFail() {
 	}
 }
 
+// crash settles the controller at a whole-array power failure: the piece
+// fails with ErrCrashed unless already answered. The crash teardown visits
+// each queued/in-flight copy exactly once, so the settled latch makes
+// whichever of primary/hedge is visited first report the failure and the
+// other a no-op.
+func (hc *hedgeCtl) crash() {
+	if hc.settled {
+		return
+	}
+	hc.settled = true
+	hc.hedgeLive = false
+	hc.hedgeReq = nil
+	hc.ur.pieceFailed(ErrCrashed)
+}
+
 // cancelHedge retires a live hedge after the primary won: removed from its
 // queue when still undispatched, or left to complete and be discarded.
 func (hc *hedgeCtl) cancelHedge() {

@@ -169,6 +169,17 @@ func (a *Array) noteSilent() {
 	}
 }
 
+// repairOrigin identifies which detector condemned a copy, so the repair
+// lifecycle counters reconcile per-detector: verify-on-read, the background
+// scrubber, or the post-crash recovery scan.
+type repairOrigin uint8
+
+const (
+	originRead repairOrigin = iota
+	originScrub
+	originRecovery
+)
+
 // noteDetected handles a verify-on-read hit on (d, piece, rep): every
 // persistently wrong chunk copy under the read is marked known-bad
 // (excluding it from future reads) and an in-place repair is queued from
@@ -180,14 +191,14 @@ func (a *Array) noteDetected(d *drive, p *layout.Piece, rep int) {
 		a.obsRec.VerifyDetected++
 	}
 	a.forEachChunk(p, func(chunk int64) {
-		a.condemnWrong(d, chunk, rep, false)
+		a.condemnWrong(d, chunk, rep, originRead)
 	})
 }
 
 // condemnWrong marks the copy known-bad and queues its repair if it is
 // persistently wrong (poisoned media or a stale version — not a one-off
 // transfer garbling). Reports whether it condemned anything.
-func (a *Array) condemnWrong(d *drive, chunk int64, rep int, scrub bool) bool {
+func (a *Array) condemnWrong(d *drive, chunk int64, rep int, origin repairOrigin) bool {
 	st := d.integ[chunk]
 	wrong := st == nil && a.committed[chunk] > 0
 	if st != nil && (st.bad[rep] != badNone || st.ver[rep] < a.committed[chunk]) {
@@ -201,7 +212,7 @@ func (a *Array) condemnWrong(d *drive, chunk int64, rep int, scrub bool) bool {
 		return false // already detected; its repair is pending
 	}
 	stc.bad[rep] = badKnown
-	a.queueRepair(d, chunk, rep, scrub)
+	a.queueRepair(d, chunk, rep, origin)
 	return true
 }
 
@@ -374,18 +385,24 @@ func (a *Array) chunkPiece(chunk int64) *layout.Piece {
 // — supplies the data). Repair copies hold no NVRAM slot and no staleness
 // marks: a crash simply loses the intent, and the next verified read or
 // scrub pass re-detects the copy.
-func (a *Array) queueRepair(d *drive, chunk int64, replica int, scrub bool) {
+func (a *Array) queueRepair(d *drive, chunk int64, replica int, origin repairOrigin) {
 	if d.failed || d.unreadable(chunk) || !a.hasRepairSource(d, chunk, replica) {
-		if scrub {
+		switch origin {
+		case originScrub:
 			a.scrubCtr.Unrepairable++
-		} else {
+		case originRecovery:
+			a.recCtr.Unrepairable++
+		default:
 			a.faults.Unrepairable++
 		}
 		return
 	}
-	if scrub {
+	switch origin {
+	case originScrub:
 		a.scrubCtr.RepairsQueued++
-	} else {
+	case originRecovery:
+		a.recCtr.RepairsQueued++
+	default:
 		a.faults.RepairsQueued++
 	}
 	p := a.chunkPiece(chunk)
@@ -393,30 +410,43 @@ func (a *Array) queueRepair(d *drive, chunk int64, replica int, scrub bool) {
 	d.delayed = append(d.delayed, &delayedCopy{
 		entry: entry, replica: replica, extents: p.Replicas[replica],
 		chunk: chunk, off: p.Off, count: p.Count,
-		repair: true, scrub: scrub, ver: a.committed[chunk],
+		repair: true, origin: origin, ver: a.committed[chunk],
 	})
 	a.kick(d)
 }
 
 // noteRepairEnd resolves one queued repair: done (the copy was rewritten
-// clean) or dropped (the copy died with its drive, or no clean source
-// remained).
-func (a *Array) noteRepairEnd(scrub, done bool) {
-	switch {
-	case scrub && done:
-		a.scrubCtr.Repaired++
-		if a.obsRec != nil {
-			a.obsRec.ScrubRepaired++
+// clean) or dropped (the copy died with its drive, lost to a crash, or no
+// clean source remained).
+func (a *Array) noteRepairEnd(origin repairOrigin, done bool) {
+	switch origin {
+	case originScrub:
+		if done {
+			a.scrubCtr.Repaired++
+			if a.obsRec != nil {
+				a.obsRec.ScrubRepaired++
+			}
+		} else {
+			a.scrubCtr.RepairsDropped++
 		}
-	case scrub:
-		a.scrubCtr.RepairsDropped++
-	case done:
-		a.faults.RepairsDone++
-		if a.obsRec != nil {
-			a.obsRec.ReadRepairs++
+	case originRecovery:
+		if done {
+			a.recCtr.Repaired++
+			if a.obsRec != nil {
+				a.obsRec.RecoveryRepaired++
+			}
+		} else {
+			a.recCtr.RepairsDropped++
 		}
 	default:
-		a.faults.RepairsDropped++
+		if done {
+			a.faults.RepairsDone++
+			if a.obsRec != nil {
+				a.obsRec.ReadRepairs++
+			}
+		} else {
+			a.faults.RepairsDropped++
+		}
 	}
 }
 
@@ -474,6 +504,48 @@ func (a *Array) CorruptCopies() int {
 					n++
 				}
 			}
+		}
+	}
+	return n
+}
+
+// DivergentCopies counts copies on live readable chunks that do not hold
+// the chunk's committed content: poisoned (silently or known) or lagging
+// the committed version — exactly the set the recovery scan must find
+// after a crash. Zero means every reachable replica is faithful. Not a hot
+// path: experiments and tests call it between runs.
+func (a *Array) DivergentCopies() int {
+	n := 0
+	for _, d := range a.drives {
+		if d.failed {
+			continue
+		}
+		for chunk, st := range d.integ {
+			if d.unreadable(chunk) {
+				continue
+			}
+			cv := a.committed[chunk]
+			for j := range st.bad {
+				if st.bad[j] != badNone || st.ver[j] < cv {
+					n++
+				}
+			}
+		}
+	}
+	// A mirror with committed content but no oracle state at all never took
+	// any write of the chunk (its propagation copies were all lost): every
+	// replica there lags the committed version.
+	for chunk, cv := range a.committed {
+		if cv == 0 {
+			continue
+		}
+		p := a.chunkPiece(chunk)
+		for _, id := range p.Mirrors {
+			d := a.drives[id]
+			if d.failed || d.unreadable(chunk) || d.integ[chunk] != nil {
+				continue
+			}
+			n += a.opts.Config.Dr
 		}
 	}
 	return n

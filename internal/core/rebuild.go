@@ -139,7 +139,9 @@ type rebuildState struct {
 // if a spare is available, the configuration has mirror redundancy to
 // rebuild from, and no rebuild is already running.
 func (a *Array) maybeStartRebuild() {
-	if a.rebuild != nil || len(a.spares) == 0 || a.opts.Config.Dm < 2 {
+	// A crashed array starts nothing; Recover re-invokes this after the
+	// power comes back.
+	if a.crashed || a.rebuild != nil || len(a.spares) == 0 || a.opts.Config.Dm < 2 {
 		return
 	}
 	slot := -1
@@ -243,7 +245,7 @@ func (a *Array) startChunk(st *rebuildState, c int64) {
 		return
 	}
 	if waiting, gated := a.writeGate[c]; gated {
-		a.writeGate[c] = append(waiting, func() {
+		a.writeGate[c] = append(waiting, gateWaiter{run: func() {
 			// Fired by releaseWriteGate: in delayed mode this continuation
 			// now owns the gate and must release it if the rebuild died
 			// while it waited.
@@ -255,7 +257,7 @@ func (a *Array) startChunk(st *rebuildState, c int64) {
 			}
 			st.activeChunk, st.gateHeld = c, true
 			a.reconstructChunk(st, c)
-		})
+		}})
 		return
 	}
 	a.writeGate[c] = nil
@@ -300,6 +302,20 @@ func (a *Array) readForRebuild(st *rebuildState, c int64, p *layout.Piece) {
 		break
 	}
 	if src == nil {
+		if a.chunkRestorable(st, c, p) {
+			// No readable source right now, but one is on the way back: a
+			// pending propagation will refresh a stale replica, or a
+			// condemned copy's repair (queued, in flight, or about to be
+			// re-queued by the recovery scan) will land. Wait for it instead
+			// of recording the chunk lost — the data still exists.
+			a.sim.At(a.sim.Now()+throttleRecheck, func() {
+				if st.cancelled {
+					return
+				}
+				a.readForRebuild(st, c, p)
+			})
+			return
+		}
 		a.chunkLost(st, c)
 		return
 	}
@@ -341,6 +357,38 @@ func (a *Array) readForRebuild(st *rebuildState, c int64, p *layout.Piece) {
 		},
 	}
 	a.enqueue(src, req)
+}
+
+// chunkRestorable reports whether some mirror copy of the chunk is only
+// temporarily unusable and will come back without the rebuild's help:
+// a stale replica with its propagation still pending, or a known-corrupt
+// copy whose repair has a clean source left (the repair is queued, in
+// flight, or about to be re-queued by the recovery scan). Two mirrors
+// condemned against each other never qualify — hasRepairSource skips
+// known-bad and unreadable copies, so mutual hopelessness stays lost.
+func (a *Array) chunkRestorable(st *rebuildState, c int64, p *layout.Piece) bool {
+	for _, id := range p.Mirrors {
+		if id == st.slot {
+			continue
+		}
+		d := a.drives[id]
+		if d.failed || d.unreadable(c) {
+			continue
+		}
+		if cs := d.stale[c]; cs != nil && !cs.allZero() {
+			return true
+		}
+		stc := d.integ[c]
+		if stc == nil {
+			continue
+		}
+		for j := 0; j < a.opts.Config.Dr; j++ {
+			if stc.bad[j] == badKnown && (a.repairPending(d, c, j) || a.hasRepairSource(d, c, j)) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // writeRebuildCopies queues the chunk's Dr replica writes onto the spare

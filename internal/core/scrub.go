@@ -135,6 +135,9 @@ func (a *Array) StartScrub(o ScrubOptions) error {
 	if err := o.validate(); err != nil {
 		return err
 	}
+	if a.crashed {
+		return fmt.Errorf("core: cannot start a scrub on a crashed array")
+	}
 	if a.scrub != nil && !a.scrub.done {
 		return fmt.Errorf("core: scrub already running")
 	}
@@ -302,7 +305,7 @@ func (a *Array) issueScrubRead(s *scrubState, d *drive, slot int, chunk int64, r
 // has to read the good data from somewhere, and that read is itself
 // verified.
 func (a *Array) scrubSourceRead(s *scrubState, d *drive, chunk int64, rep int) {
-	if !a.condemnWrong(d, chunk, rep, true) {
+	if !a.condemnWrong(d, chunk, rep, originScrub) {
 		// Transient path corruption (the media is fine) or a copy already
 		// condemned with a repair pending: nothing further to do.
 		a.scrubNext()

@@ -26,6 +26,7 @@
 package des
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -39,15 +40,21 @@ func init() {
 	shardWorkers.Store(int64(runtime.GOMAXPROCS(0)))
 }
 
+// ErrWorkerCount reports an invalid worker count passed to SetShardWorkers
+// or Sharded.SetWorkers. The error wraps this sentinel (errors.Is) and
+// names the offending value and bound.
+var ErrWorkerCount = errors.New("des: invalid worker count")
+
 // SetShardWorkers sets the process-wide default worker count new Sharded
-// engines start with (the -shards flag of the CLIs lands here). Values
-// below 1 clamp to 1. It returns the previous setting so tests can restore
-// it.
-func SetShardWorkers(n int) int {
+// engines start with (the -shards flag of the CLIs lands here). Counts
+// below 1 are rejected with an error wrapping ErrWorkerCount — a silent
+// clamp here would mask a CLI typo as "sequential mode". On success it
+// returns the previous setting so tests can restore it.
+func SetShardWorkers(n int) (int, error) {
 	if n < 1 {
-		n = 1
+		return int(shardWorkers.Load()), fmt.Errorf("%w: %d workers (want >= 1)", ErrWorkerCount, n)
 	}
-	return int(shardWorkers.Swap(int64(n)))
+	return int(shardWorkers.Swap(int64(n))), nil
 }
 
 // ShardWorkers reports the current default (GOMAXPROCS at startup).
@@ -118,14 +125,21 @@ func NewSharded(n int, lookahead Time) *Sharded {
 	return sh
 }
 
-// SetWorkers overrides the engine's worker count (clamped to [1, shards]).
-// It must be called before the first RunUntil: once the worker pool has
-// started, the count is frozen and SetWorkers has no effect.
-func (sh *Sharded) SetWorkers(n int) {
+// SetWorkers overrides the engine's worker count. Counts below 1 or above
+// the shard count are rejected with an error wrapping ErrWorkerCount (a
+// worker beyond the shard count could never be recruited, so asking for
+// one is a caller bug, not a preference). It must be called before the
+// first RunUntil: once the worker pool has started, the count is frozen
+// and SetWorkers has no effect.
+func (sh *Sharded) SetWorkers(n int) error {
 	if n < 1 {
-		n = 1
+		return fmt.Errorf("%w: %d workers (want >= 1)", ErrWorkerCount, n)
+	}
+	if n > len(sh.shards) {
+		return fmt.Errorf("%w: %d workers for %d shards (want <= shards)", ErrWorkerCount, n, len(sh.shards))
 	}
 	sh.workers = n
+	return nil
 }
 
 // Shards reports the shard count.

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -15,7 +16,12 @@ func pingPong(t *testing.T, shards, workers int, seed int64) string {
 	t.Helper()
 	const look = Time(10)
 	sh := NewSharded(shards, look)
-	sh.SetWorkers(workers)
+	if workers > shards {
+		workers = shards // SetWorkers rejects over-provisioning
+	}
+	if err := sh.SetWorkers(workers); err != nil {
+		t.Fatal(err)
+	}
 	logs := make([][]string, shards) // per-shard transcripts: race-free
 	rngs := make([]*rand.Rand, shards)
 	for i := range rngs {
@@ -142,5 +148,40 @@ func TestShardedSendArg(t *testing.T) {
 	sh.Run()
 	if hits != 42 {
 		t.Fatalf("hits = %d", hits)
+	}
+}
+
+// Worker-count validation: out-of-range counts are rejected with the typed
+// error instead of silently clamped (a clamp would mask a CLI typo as a
+// performance setting).
+func TestWorkerCountValidation(t *testing.T) {
+	prev := ShardWorkers()
+	defer SetShardWorkers(prev)
+
+	for _, bad := range []int{0, -1, -100} {
+		if _, err := SetShardWorkers(bad); !errors.Is(err, ErrWorkerCount) {
+			t.Fatalf("SetShardWorkers(%d) = %v, want ErrWorkerCount", bad, err)
+		}
+		if got := ShardWorkers(); got != prev {
+			t.Fatalf("rejected SetShardWorkers(%d) still changed the setting to %d", bad, got)
+		}
+	}
+	if old, err := SetShardWorkers(3); err != nil || old != prev {
+		t.Fatalf("SetShardWorkers(3) = (%d, %v), want (%d, nil)", old, err, prev)
+	}
+	if got := ShardWorkers(); got != 3 {
+		t.Fatalf("ShardWorkers() = %d after setting 3", got)
+	}
+
+	sh := NewSharded(4, 10)
+	for _, bad := range []int{0, -2, 5, 100} {
+		if err := sh.SetWorkers(bad); !errors.Is(err, ErrWorkerCount) {
+			t.Fatalf("SetWorkers(%d) on 4 shards = %v, want ErrWorkerCount", bad, err)
+		}
+	}
+	for _, ok := range []int{1, 4} {
+		if err := sh.SetWorkers(ok); err != nil {
+			t.Fatalf("SetWorkers(%d) on 4 shards: %v", ok, err)
+		}
 	}
 }

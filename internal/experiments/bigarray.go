@@ -217,7 +217,9 @@ func (c *bigCluster) result(events uint64) *BigArrayResult {
 func RunBigArray(spec BigArraySpec) (*BigArrayResult, error) {
 	sh := des.NewSharded(spec.Bricks+1, bigLinkLat)
 	if spec.Workers > 0 {
-		sh.SetWorkers(spec.Workers)
+		if err := sh.SetWorkers(spec.Workers); err != nil {
+			return nil, err
+		}
 	}
 	sims := make([]*des.Sim, spec.Bricks+1)
 	for i := range sims {

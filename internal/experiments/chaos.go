@@ -1,0 +1,501 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/runner"
+)
+
+// The chaos experiment measures the crash/power-fail tolerance stack two
+// ways. A recovery micro-benchmark power-fails a single array mid-load
+// once per NVRAM durability mode and reconciles the recovery counters:
+// battery-backed NVRAM must adopt every queued delayed copy (no loss),
+// volatile NVRAM must lose them all and have the recovery scan detect and
+// repair every resulting divergence (no silent loss). A cluster run then
+// arms a seeded chaos scenario — drive failure, fail-slow window, two
+// brick power-fail/recover cycles, a scrub pass, a client load burst —
+// over a multi-brick sharded simulation and reports the windowed p99
+// response time and SLO compliance while the events land. The cluster run
+// executes at epoch worker counts 1, 2, and 4 and its digest (which folds
+// in the scenario timeline, every completion, and every brick's recovery
+// counters) must be byte-identical across them.
+
+// chaosRetry is the client's backoff before retrying a request a crashed
+// brick rejected at submit.
+const chaosRetry = 2 * des.Millisecond
+
+// chaosSLO is the response-time bound the compliance metric counts
+// against (generous: it should hold except during outage windows).
+const chaosSLO = 50 * des.Millisecond
+
+// chaosSpec sizes one cluster chaos run.
+type chaosSpec struct {
+	bricks      int
+	cfg         layout.Config
+	ios         int
+	outstanding int
+	sectors     int
+	readFrac    float64
+	seed        int64
+	workers     int
+	durability  core.NVRAMDurability
+	sc          chaos.Scenario
+	window      des.Time
+}
+
+// chaosCluster is the client plus bricks of one run. Client state lives on
+// shard 0; each array and its skipped-event counter are touched only by
+// that brick's shard — the isolation the epoch protocol requires.
+type chaosCluster struct {
+	spec chaosSpec
+	sims []*des.Sim // sims[0] = client, sims[1+b] = brick b
+	arr  []*core.Array
+	send func(from, to int, at des.Time, fn func())
+
+	rng      *rand.Rand
+	vol      int64
+	issued   int
+	finished int
+	ok       int
+	failed   int
+	rejected int
+	shrink   int
+	latNs    int64
+	last     des.Time
+	perBrick []int
+	sloOK    int
+	wins     [][]int64 // per-window successful-completion latencies (ns)
+	// skipped[b] counts scenario events brick b ignored because its state
+	// made them inapplicable (e.g. a drive event landing inside an
+	// outage); written only by shard 1+b.
+	skipped []int
+}
+
+func buildChaosCluster(spec chaosSpec, sims []*des.Sim, send func(int, int, des.Time, func())) (*chaosCluster, error) {
+	c := &chaosCluster{
+		spec: spec, sims: sims, send: send,
+		rng:      rand.New(rand.NewSource(spec.seed)),
+		arr:      make([]*core.Array, spec.bricks),
+		perBrick: make([]int, spec.bricks),
+		skipped:  make([]int, spec.bricks),
+	}
+	for b := range c.arr {
+		a, err := core.New(sims[1+b], core.Options{
+			Config: spec.cfg, Policy: policyFor(spec.cfg), Seed: spec.seed + int64(b),
+			Crash: core.CrashModel{Enabled: true, Durability: spec.durability},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.arr[b] = a
+		b := b
+		chaos.Arm(sims[1+b], spec.sc, b, func(e chaos.Event) { c.applyBrick(b, e) })
+	}
+	chaos.Arm(sims[0], spec.sc, chaos.ClientBrick, c.applyClient)
+	c.vol = c.arr[0].DataSectors() - int64(spec.sectors)
+	sims[0].At(0, c.prime)
+	return c, nil
+}
+
+// applyBrick lands one scenario event on brick b, from that brick's shard.
+// Drive and scrub events that the brick's current state rejects (an outage
+// in progress, a drive already gone) are counted and dropped — the
+// generator keeps the timeline legal in time, not in target. Crash and
+// recover events must always apply; an error there is a scenario bug.
+func (c *chaosCluster) applyBrick(b int, e chaos.Event) {
+	a := c.arr[b]
+	switch e.Kind {
+	case chaos.DriveFail:
+		if a.Crashed() || a.FailDrive(e.Drive) != nil {
+			c.skipped[b]++
+		}
+	case chaos.SlowDrive:
+		if a.SetDriveSlow(e.Drive, disk.SlowProfile{Factor: e.Factor}) != nil {
+			c.skipped[b]++
+		}
+	case chaos.ScrubPass:
+		if a.StartScrub(core.ScrubOptions{MBps: e.Factor, Passes: 1}) != nil {
+			c.skipped[b]++
+		}
+	case chaos.BrickCrash:
+		if err := a.Crash(); err != nil {
+			panic(fmt.Sprintf("chaos: brick %d crash: %v", b, err))
+		}
+	case chaos.BrickRecover:
+		if err := a.Recover(); err != nil {
+			panic(fmt.Sprintf("chaos: brick %d recover: %v", b, err))
+		}
+	}
+}
+
+// applyClient widens the closed loop by Factor extra requests for the
+// burst's duration, then absorbs that many completions to narrow back.
+func (c *chaosCluster) applyClient(e chaos.Event) {
+	if e.Kind != chaos.LoadBurst {
+		return
+	}
+	extra := int(e.Factor)
+	for i := 0; i < extra; i++ {
+		c.issue()
+	}
+	c.sims[0].At(e.At+e.Duration, func() { c.shrink += extra })
+}
+
+func (c *chaosCluster) draw() (int, int64, core.Op) {
+	b := c.rng.Intn(c.spec.bricks)
+	off := c.rng.Int63n(c.vol)
+	op := core.Read
+	if c.rng.Float64() >= c.spec.readFrac {
+		op = core.Write
+	}
+	return b, off, op
+}
+
+func (c *chaosCluster) prime() {
+	window := c.spec.outstanding
+	if window > c.spec.ios {
+		window = c.spec.ios
+	}
+	for i := 0; i < window; i++ {
+		c.issue()
+	}
+}
+
+// issue claims the next logical request and sends its first attempt.
+func (c *chaosCluster) issue() {
+	if c.issued >= c.spec.ios {
+		return
+	}
+	c.issued++
+	c.attempt(c.sims[0].Now())
+}
+
+// attempt draws a fresh (brick, offset, op) and sends it over the link;
+// submitAt survives retries so measured latency includes outage stalls.
+func (c *chaosCluster) attempt(submitAt des.Time) {
+	b, off, op := c.draw()
+	c.send(0, 1+b, c.sims[0].Now()+bigLinkLat, func() { c.submit(b, off, op, submitAt) })
+}
+
+func (c *chaosCluster) submit(b int, off int64, op core.Op, submitAt des.Time) {
+	a := c.arr[b]
+	sim := c.sims[1+b]
+	err := a.Submit(op, off, c.spec.sectors, false, func(r coreResult) {
+		failed := r.Failed
+		c.send(1+b, 0, sim.Now()+bigLinkLat, func() { c.complete(b, submitAt, failed) })
+	})
+	if err != nil {
+		// The brick is powered off: bounce the attempt back and let the
+		// client retry after a backoff (with a fresh draw, so a long
+		// outage does not pin the slot to the dark brick).
+		c.send(1+b, 0, sim.Now()+bigLinkLat, func() {
+			c.rejected++
+			c.sims[0].After(chaosRetry, func() { c.attempt(submitAt) })
+		})
+	}
+}
+
+// complete retires one logical request. Failures (in-flight at a crash)
+// consume the slot too: the workload observes the failure, it does not
+// paper over it.
+func (c *chaosCluster) complete(b int, submitAt des.Time, failed bool) {
+	now := c.sims[0].Now()
+	if now > c.last {
+		c.last = now
+	}
+	c.finished++
+	c.perBrick[b]++
+	if failed {
+		c.failed++
+	} else {
+		c.ok++
+		lat := now - submitAt
+		ns := int64(math.Round(float64(lat) * 1000))
+		c.latNs += ns
+		if lat <= chaosSLO {
+			c.sloOK++
+		}
+		w := int(now / c.spec.window)
+		for len(c.wins) <= w {
+			c.wins = append(c.wins, nil)
+		}
+		c.wins[w] = append(c.wins[w], ns)
+	}
+	if c.shrink > 0 {
+		c.shrink--
+		return
+	}
+	c.issue()
+}
+
+// p99 of one window's latencies in integer nanoseconds (0 for an empty
+// window).
+func p99ns(lat []int64) int64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (99*len(s) + 99) / 100
+	if idx > len(s) {
+		idx = len(s)
+	}
+	return s[idx-1]
+}
+
+// chaosRunRes summarizes one cluster run; digest equality across worker
+// counts is the determinism bar.
+type chaosRunRes struct {
+	digest         string
+	p99            []int64 // per window, ns
+	window         des.Time
+	ok, failed     int
+	rejected       int
+	sloOK          int
+	crashes        int64
+	recoveries     int64
+	adopted        int64
+	lostDelayed    int64
+	divergentFound int64
+	repaired       int64
+	unrepairable   int64
+	divergentAfter int
+	events         uint64
+}
+
+func (c *chaosCluster) result(events uint64) *chaosRunRes {
+	r := &chaosRunRes{
+		window: c.spec.window, ok: c.ok, failed: c.failed, rejected: c.rejected,
+		sloOK: c.sloOK, events: events,
+	}
+	r.p99 = make([]int64, len(c.wins))
+	for i, w := range c.wins {
+		r.p99[i] = p99ns(w)
+	}
+	rec := ""
+	for b, a := range c.arr {
+		rc := a.Recovery()
+		r.crashes += rc.Crashes
+		r.recoveries += rc.Recoveries
+		r.adopted += rc.Adopted
+		r.lostDelayed += rc.LostDelayed
+		r.divergentFound += rc.DivergentFound
+		r.repaired += rc.Repaired
+		r.unrepairable += rc.Unrepairable
+		r.divergentAfter += a.DivergentCopies()
+		rec += fmt.Sprintf(" b%d[cr=%d rec=%d ad=%d lost=%d scan=%d div=%d rep=%d unrep=%d drop=%d left=%d skip=%d]",
+			b, rc.Crashes, rc.Recoveries, rc.Adopted, rc.LostDelayed, rc.Scanned,
+			rc.DivergentFound, rc.Repaired, rc.Unrepairable, rc.RepairsDropped,
+			a.DivergentCopies(), c.skipped[b])
+	}
+	r.digest = fmt.Sprintf("%sissued=%d ok=%d failed=%d rejected=%d latNs=%d last=%.6f perBrick=%v sloOK=%d p99=%v events=%d%s",
+		c.spec.sc.Timeline(), c.issued, c.ok, c.failed, c.rejected, c.latNs,
+		float64(c.last), c.perBrick, c.sloOK, r.p99, events, rec)
+	return r
+}
+
+// runChaosCluster executes one cluster run on the sharded epoch engine.
+func runChaosCluster(spec chaosSpec) (*chaosRunRes, error) {
+	sh := des.NewSharded(spec.bricks+1, bigLinkLat)
+	if spec.workers > 0 {
+		if err := sh.SetWorkers(spec.workers); err != nil {
+			return nil, err
+		}
+	}
+	sims := make([]*des.Sim, spec.bricks+1)
+	for i := range sims {
+		sims[i] = sh.Shard(i)
+	}
+	c, err := buildChaosCluster(spec, sims, sh.Send)
+	if err != nil {
+		return nil, err
+	}
+	sh.Run()
+	if c.finished != c.spec.ios {
+		return nil, fmt.Errorf("experiments: chaos cluster drained at %d/%d completions", c.finished, c.spec.ios)
+	}
+	return c.result(sh.Processed()), nil
+}
+
+// defaultChaosSpec sizes the cluster run: four 8-drive bricks under a
+// volatile-NVRAM crash model (the mode that exercises the recovery scan),
+// with the scenario horizon scaled to the workload length so the events
+// land while the loop is hot.
+func defaultChaosSpec(c Config) (chaosSpec, error) {
+	bricks := 4
+	cfg := layout.Config{Ds: 2, Dr: 2, Dm: 2}
+	horizon := des.Time(c.IometerIOs) * 150 * des.Microsecond
+	sc, err := chaos.Generate(c.Seed, chaos.Options{
+		Bricks: bricks, DrivesPerBrick: cfg.Disks(),
+		Start: 5 * des.Millisecond, Horizon: horizon,
+		DriveFails: 1, SlowDrives: 1, BrickCrashes: 2, ScrubPasses: 1, LoadBursts: 1,
+	})
+	if err != nil {
+		return chaosSpec{}, err
+	}
+	return chaosSpec{
+		bricks: bricks, cfg: cfg,
+		ios: c.IometerIOs * 2, outstanding: 32, sectors: 8, readFrac: 0.5,
+		seed: c.Seed, durability: core.Volatile, sc: sc,
+		window: horizon / 16,
+	}, nil
+}
+
+// recoveryRes is one durability mode's crash/recovery micro measurement.
+type recoveryRes struct {
+	rec            core.RecoveryCounters
+	divergentAfter int
+	nvramAfter     int
+	okOps          int
+	failedOps      int
+	rejected       int
+}
+
+// runRecovery power-fails one array 40 ms into a half-write closed loop,
+// recovers it 30 ms later, runs the workload to completion, and drains
+// everything — recovery scan and queued repairs included — before reading
+// the counters.
+func runRecovery(durability core.NVRAMDurability, ios int, seed int64) (recoveryRes, error) {
+	sim, a, err := buildArray(layout.RAID10(4), "rsatf", int64(1<<17), seed, func(o *coreOptions) {
+		o.ObsLabel = "chaos/recovery/" + durability.String()
+		o.Crash = core.CrashModel{
+			Enabled: true,
+			At:      40 * des.Millisecond, RecoverAfter: 30 * des.Millisecond,
+			Durability: durability,
+		}
+	})
+	if err != nil {
+		return recoveryRes{}, err
+	}
+	var res recoveryRes
+	const sectors = 8
+	const outstanding = 8
+	rng := rand.New(rand.NewSource(seed + 101))
+	finished, issued := 0, 0
+	var issue func()
+	issue = func() {
+		if issued >= ios {
+			return
+		}
+		off := rng.Int63n(a.DataSectors() - sectors)
+		op := core.Read
+		if rng.Float64() >= 0.5 {
+			op = core.Write
+		}
+		err := a.Submit(op, off, sectors, false, func(r coreResult) {
+			finished++
+			if r.Failed {
+				res.failedOps++
+			} else {
+				res.okOps++
+			}
+			issue()
+		})
+		if err != nil {
+			// Powered off: hold the slot and retry shortly.
+			res.rejected++
+			sim.After(chaosRetry, issue)
+			return
+		}
+		issued++
+	}
+	for i := 0; i < outstanding && i < ios; i++ {
+		issue()
+	}
+	for finished < ios {
+		if !sim.Step() {
+			return recoveryRes{}, fmt.Errorf("experiments: recovery run stalled at %d/%d", finished, ios)
+		}
+	}
+	if !a.Drain(des.Hour) {
+		return recoveryRes{}, fmt.Errorf("experiments: recovery run failed to drain")
+	}
+	sim.Run() // flush the recovery scan and any queued repairs
+	res.rec = a.Recovery()
+	res.divergentAfter = a.DivergentCopies()
+	res.nvramAfter = a.NVRAMUsed()
+	return res, nil
+}
+
+// Chaos is the registry experiment.
+func Chaos(c Config) (*Figure, error) {
+	durs := []core.NVRAMDurability{core.Volatile, core.BatteryBacked}
+	micro, err := runner.Map(len(durs), func(i int) (recoveryRes, error) {
+		return runRecovery(durs[i], c.IometerIOs, c.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	spec, err := defaultChaosSpec(c)
+	if err != nil {
+		return nil, err
+	}
+	var first *chaosRunRes
+	for _, w := range []int{1, 2, 4} {
+		s := spec
+		s.workers = w
+		r, err := runChaosCluster(s)
+		if err != nil {
+			return nil, err
+		}
+		if first == nil {
+			first = r
+		} else if r.digest != first.digest {
+			return nil, fmt.Errorf("experiments: worker count changed the chaos run:\n%q\nvs\n%q", r.digest, first.digest)
+		}
+	}
+
+	fig := &Figure{
+		Name: "chaos", Title: "Chaos scenario on a 32-drive cluster (crashes, fail-slow, scrub, burst)",
+		XLabel: "window end (ms of simulated time)", YLabel: "p99 response time (ms)",
+	}
+	var p99 Series
+	p99.Label = "p99/chaos-cluster"
+	for i, ns := range first.p99 {
+		p99.Add(float64(first.window)*float64(i+1)/1000, float64(ns)/1e6)
+	}
+	fig.Series = append(fig.Series, p99)
+
+	fig.Metric("cluster/ok", float64(first.ok))
+	fig.Metric("cluster/failed", float64(first.failed))
+	fig.Metric("cluster/rejected", float64(first.rejected))
+	fig.Metric("cluster/slo_ok", float64(first.sloOK))
+	if first.ok > 0 {
+		fig.Metric("cluster/slo_pct", 100*float64(first.sloOK)/float64(first.ok))
+	}
+	fig.Metric("cluster/crashes", float64(first.crashes))
+	fig.Metric("cluster/recoveries", float64(first.recoveries))
+	fig.Metric("cluster/adopted", float64(first.adopted))
+	fig.Metric("cluster/lost_delayed", float64(first.lostDelayed))
+	fig.Metric("cluster/divergent_found", float64(first.divergentFound))
+	fig.Metric("cluster/repaired", float64(first.repaired))
+	fig.Metric("cluster/unrepairable", float64(first.unrepairable))
+	fig.Metric("cluster/divergent_after", float64(first.divergentAfter))
+	fig.Metric("cluster/events", float64(first.events))
+	for i, d := range durs {
+		name := d.String()
+		r := micro[i]
+		fig.Metric("recovery/"+name+"/crashes", float64(r.rec.Crashes))
+		fig.Metric("recovery/"+name+"/recoveries", float64(r.rec.Recoveries))
+		fig.Metric("recovery/"+name+"/adopted", float64(r.rec.Adopted))
+		fig.Metric("recovery/"+name+"/lost_delayed", float64(r.rec.LostDelayed))
+		fig.Metric("recovery/"+name+"/scanned", float64(r.rec.Scanned))
+		fig.Metric("recovery/"+name+"/divergent_found", float64(r.rec.DivergentFound))
+		fig.Metric("recovery/"+name+"/repaired", float64(r.rec.Repaired))
+		fig.Metric("recovery/"+name+"/unrepairable", float64(r.rec.Unrepairable))
+		fig.Metric("recovery/"+name+"/divergent_after", float64(r.divergentAfter))
+		fig.Metric("recovery/"+name+"/failed_ops", float64(r.failedOps))
+		fig.Metric("recovery/"+name+"/rejected", float64(r.rejected))
+		fig.Metric("recovery/"+name+"/recovery_time_ms", float64(r.rec.RecoveryTime)/1000)
+	}
+	return fig, nil
+}

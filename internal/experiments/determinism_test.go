@@ -57,6 +57,13 @@ func TestParallelMatchesSequential(t *testing.T) {
 			}
 			return f.Render(), nil
 		}},
+		{"chaos", func() (string, error) {
+			f, err := Chaos(cfg)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
 	}
 	for _, c := range cases {
 		c := c

@@ -60,6 +60,7 @@ var Registry = map[string]Runner{
 	"ablation-mirror":        figRunner(AblationMirrorSched),
 	"ablation-opportunistic": figRunner(AblationOpportunistic),
 	"bigarray":               figRunner(BigArray),
+	"chaos":                  figRunner(Chaos),
 	"degraded-rebuild":       figRunner(DegradedRebuild),
 	"fail-slow":              figRunner(FailSlow),
 	"scrub":                  figRunner(Scrub),

@@ -459,6 +459,14 @@ type Recorder struct {
 	ScrubCorrupt   int64
 	ScrubRepaired  int64
 	ScrubPasses    int64
+
+	// Crash/power-fail tolerance: Crashes and Recoveries count array power
+	// cycles; RecoveryDivergent counts the divergent copies the post-crash
+	// scan condemned, RecoveryRepaired the scan repairs that completed.
+	Crashes           int64
+	Recoveries        int64
+	RecoveryDivergent int64
+	RecoveryRepaired  int64
 }
 
 // Label returns the recorder's registry label.
@@ -500,4 +508,8 @@ func (r *Recorder) merge(o *Recorder) {
 	r.ScrubCorrupt += o.ScrubCorrupt
 	r.ScrubRepaired += o.ScrubRepaired
 	r.ScrubPasses += o.ScrubPasses
+	r.Crashes += o.Crashes
+	r.Recoveries += o.Recoveries
+	r.RecoveryDivergent += o.RecoveryDivergent
+	r.RecoveryRepaired += o.RecoveryRepaired
 }

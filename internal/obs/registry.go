@@ -134,6 +134,10 @@ type recorderJSON struct {
 	ScrubCorrupt    int64       `json:"scrub_corrupt,omitempty"`
 	ScrubRepaired   int64       `json:"scrub_repaired,omitempty"`
 	ScrubPasses     int64       `json:"scrub_passes,omitempty"`
+	Crashes         int64       `json:"crashes,omitempty"`
+	Recoveries      int64       `json:"recoveries,omitempty"`
+	RecoveryDiv     int64       `json:"recovery_divergent,omitempty"`
+	RecoveryRep     int64       `json:"recovery_repaired,omitempty"`
 	Drives          []driveJSON `json:"drives"`
 }
 
@@ -184,6 +188,10 @@ func (g *Registry) Snapshot() ([]byte, error) {
 			ScrubCorrupt:    r.ScrubCorrupt,
 			ScrubRepaired:   r.ScrubRepaired,
 			ScrubPasses:     r.ScrubPasses,
+			Crashes:         r.Crashes,
+			Recoveries:      r.Recoveries,
+			RecoveryDiv:     r.RecoveryDivergent,
+			RecoveryRep:     r.RecoveryRepaired,
 		}
 		for i := range r.drives {
 			d := &r.drives[i]

@@ -222,10 +222,56 @@ func (a *Array) SubmitBatch(ops []BatchOp) (int, error) {
 	return a.Array.SubmitBatch(ops)
 }
 
+// SubmitBatchErrs issues the batch like SubmitBatch but attempts every
+// operation: per-operation submit errors come back in an index-aligned
+// slice (nil when everything was submitted), alongside the count of
+// operations actually queued. An operation with a non-nil error slot was
+// never queued and its Done will not run.
+func (a *Array) SubmitBatchErrs(ops []BatchOp) ([]error, int) {
+	return a.Array.SubmitBatchErrs(ops)
+}
+
+// NVRAMDurability selects what a power failure does to the delayed-copy
+// NVRAM table (CrashModel.Durability).
+type NVRAMDurability = core.NVRAMDurability
+
+// NVRAM durability modes.
+const (
+	// Volatile NVRAM loses the table: every queued delayed copy vanishes
+	// and the recovery scan must find the resulting divergence.
+	Volatile = core.Volatile
+	// BatteryBacked NVRAM holds the table across the outage (bounded by
+	// CrashModel.BatteryHorizon) and recovery re-adopts it.
+	BatteryBacked = core.BatteryBacked
+)
+
+// CrashModel configures crash/power-fail injection (Options.Crash): an
+// optional scheduled crash and recovery, the NVRAM durability mode, and
+// the recovery scan's bandwidth pacing. The zero value disables the model
+// entirely.
+type CrashModel = core.CrashModel
+
+// RecoveryCounters tallies crash and recovery activity — copies lost and
+// adopted, the recovery scan's coverage, divergence found, repairs queued
+// and resolved; read it with Array.Recovery. The counters reconcile:
+// DivergentFound == RepairsQueued + Unrepairable and RepairsQueued ==
+// Repaired + RepairsDropped.
+type RecoveryCounters = core.RecoveryCounters
+
+// ErrCrashed reports a request rejected or failed because the array is
+// (or went) powered off; recalled by Result.Err and Submit. Test with
+// errors.Is.
+var ErrCrashed = core.ErrCrashed
+
 // SetShardWorkers sets the process-wide worker count used by sharded
 // multi-brick simulations (des.Sharded engines); the CLIs' -shards flag
-// lands here. It returns the previous setting.
-func SetShardWorkers(n int) int { return des.SetShardWorkers(n) }
+// lands here. Counts below 1 are rejected with an error wrapping
+// ErrWorkerCount. On success it returns the previous setting.
+func SetShardWorkers(n int) (int, error) { return des.SetShardWorkers(n) }
+
+// ErrWorkerCount reports an invalid worker count passed to
+// SetShardWorkers.
+var ErrWorkerCount = des.ErrWorkerCount
 
 // ShardWorkers reports the current sharded-engine worker count.
 func ShardWorkers() int { return des.ShardWorkers() }

@@ -1,6 +1,7 @@
 package mimdraid
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -34,6 +35,60 @@ func TestPublicAPIQuickPath(t *testing.T) {
 	}
 	if lat <= 0 {
 		t.Fatal("non-positive cumulative latency")
+	}
+}
+
+// The crash/recovery surface works end to end through the public API:
+// power-fail a battery-backed array mid-write-burst, watch outstanding
+// work fail with ErrCrashed, recover, and reconcile the counters.
+func TestPublicAPICrashRecovery(t *testing.T) {
+	sim := NewSim()
+	arr, err := New(sim, Options{
+		Config: RAID10(4), Policy: "rsatf", DataSectors: 1 << 16, Seed: 1,
+		Crash: CrashModel{Enabled: true, Durability: BatteryBacked},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []BatchOp
+	crashedOps := 0
+	for i := int64(0); i < 12; i++ {
+		ops = append(ops, BatchOp{Op: OpWrite, Off: i * 1024, Count: 8, Done: func(r Result) {
+			if errors.Is(r.Err, ErrCrashed) {
+				crashedOps++
+			}
+		}})
+	}
+	if errs, n := arr.SubmitBatchErrs(ops); errs != nil || n != len(ops) {
+		t.Fatalf("SubmitBatchErrs = (%v, %d)", errs, n)
+	}
+	for arr.NVRAMUsed() == 0 && sim.Step() {
+	}
+	if err := arr.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Write(0, 8, nil); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Write on crashed array = %v, want ErrCrashed", err)
+	}
+	if err := arr.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	rec := arr.Recovery()
+	if rec.Crashes != 1 || rec.Recoveries != 1 {
+		t.Fatalf("recovery counters %+v", rec)
+	}
+	if rec.LostDelayed != 0 {
+		t.Fatalf("battery-backed crash lost %d delayed copies", rec.LostDelayed)
+	}
+	if rec.Adopted == 0 {
+		t.Fatal("battery-backed recovery adopted nothing")
+	}
+	if crashedOps == 0 {
+		t.Fatal("no outstanding op observed ErrCrashed")
+	}
+	if got := arr.DivergentCopies(); got != 0 {
+		t.Fatalf("%d divergent copies after recovery", got)
 	}
 }
 

@@ -13,6 +13,14 @@ go test -shuffle=on ./...
 # cross-subsystem state; run them twice under the race detector to
 # catch order-dependent residue the single pass can miss.
 go test -race -count=2 -run 'TestScrub|TestCorruption|TestSilent|TestLatent|TestTorn|TestHedgeFault' ./internal/core
-# Fuzz smoke: a short bounded run of the NVRAM snapshot decoder fuzzer
-# (the seed corpus alone regression-tests the known crashers).
+# Crash/chaos composition: the crash state machine plus the chaos
+# experiment (which digest-checks itself across 1/2/4 epoch workers and
+# both NVRAM durability modes); run twice under the race detector to
+# catch order-dependent residue.
+go test -race -count=2 -run 'TestCrash|TestBatteryHorizon|TestScheduledCrash|TestBatchThenCrash|TestRepeatedCrash' ./internal/core
+go test -race -count=2 -run 'TestChaos' ./internal/chaos ./internal/experiments
+# Fuzz smoke: short bounded runs of the NVRAM snapshot decoder and the
+# crash/recovery-scan fuzzers (the seed corpora alone regression-test
+# the known crashers).
 go test -run '^$' -fuzz '^FuzzAdoptNVRAM$' -fuzztime 5s ./internal/core
+go test -run '^$' -fuzz '^FuzzRecoveryScan$' -fuzztime 5s ./internal/core

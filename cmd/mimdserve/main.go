@@ -1,0 +1,206 @@
+// Command mimdserve exposes the simulated array as a storage service.
+//
+// Three modes:
+//
+//	mimdserve                        serve the HTTP block API on -addr
+//	mimdserve -load                  drive a deterministic multi-tenant load
+//	                                 in-process and print the report
+//	mimdserve -smoke                 tiny double-run determinism check
+//	                                 (exit 1 on digest mismatch)
+//
+// Serve mode bridges real wall-clock HTTP clients onto the array's
+// virtual clock (non-deterministic gateway mode):
+//
+//	mimdserve -addr localhost:8077 &
+//	curl 'http://localhost:8077/v1/vol/read?off=0&count=8'
+//	curl -XPOST 'http://localhost:8077/v1/vol/write?off=4096&count=16'
+//	curl 'http://localhost:8077/v1/stats'
+//
+// Per-tenant rate limits (-rate/-burst, tenant = X-Tenant header) and the
+// array's own admission control (-max-queue-depth) both surface as HTTP
+// 429 with Retry-After.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/layout"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "localhost:8077", "serve mode: HTTP listen address")
+		load  = flag.Bool("load", false, "run the deterministic load generator instead of serving")
+		smoke = flag.Bool("smoke", false, "run a small load twice and verify byte-identical digests")
+
+		ds     = flag.Int("ds", 8, "striping degree (Ds)")
+		dr     = flag.Int("dr", 2, "rotational replicas (Dr)")
+		dm     = flag.Int("dm", 1, "mirrors (Dm)")
+		policy = flag.String("policy", "", "scheduler policy; empty picks the paper pairing (rsatf when Dr>1, else satf)")
+		depth  = flag.Int("max-queue-depth", 8, "array admission control: shed when a target drive's queue reaches this (0 = off)")
+		seed   = flag.Int64("seed", 1, "random seed")
+
+		rate  = flag.Float64("rate", 0, "default per-tenant rate limit in requests per virtual second (0 = unlimited)")
+		burst = flag.Float64("burst", 4, "default per-tenant burst")
+
+		tenants  = flag.Int("tenants", 1000, "load mode: simulated tenants")
+		requests = flag.Int("requests", 100000, "load mode: total HTTP requests")
+		thinkMs  = flag.Float64("think-ms", 200, "load mode: mean per-tenant think time, virtual ms")
+		retries  = flag.Int("retries", 2, "load mode: retries per operation after a 429")
+		windowMs = flag.Float64("window-ms", 0, "load mode: report window in virtual ms (0 = auto)")
+	)
+	flag.Parse()
+
+	cfg := layout.Config{Ds: *ds, Dr: *dr, Dm: *dm}
+	pol := *policy
+	if pol == "" {
+		pol = "satf"
+		if cfg.Dr > 1 {
+			pol = "rsatf"
+		}
+	}
+	build := func() (*core.Array, error) {
+		return core.New(des.New(), core.Options{
+			Config: cfg, Policy: pol, Seed: *seed, MaxQueueDepth: *depth,
+			// Arm the power switch so /v1/admin/crash and /v1/admin/recover
+			// work over the wire.
+			Crash: core.CrashModel{Enabled: true, Durability: core.BatteryBacked},
+		})
+	}
+	limits := service.Limits{Default: service.TenantLimit{Rate: *rate, Burst: *burst}}
+
+	switch {
+	case *smoke:
+		os.Exit(runSmoke(build, limits))
+	case *load:
+		window := des.Time(*windowMs * float64(des.Millisecond))
+		os.Exit(runLoad(build, limits, service.LoadConfig{
+			Tenants:    *tenants,
+			Requests:   *requests,
+			Seed:       *seed,
+			ThinkMean:  des.Time(*thinkMs * float64(des.Millisecond)),
+			MaxRetries: *retries,
+			Window:     window,
+		}))
+	default:
+		os.Exit(serve(build, limits, *addr))
+	}
+}
+
+// serve runs the real-time HTTP front-end until interrupted.
+func serve(build func() (*core.Array, error), limits service.Limits, addr string) int {
+	a, err := build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mimdserve: %v\n", err)
+		return 2
+	}
+	gw := service.NewGateway(a, service.Config{Limits: limits})
+	runErr := make(chan error, 1)
+	go func() { runErr <- gw.Run() }()
+	srv := &http.Server{Addr: addr, Handler: service.NewServer(gw)}
+	fmt.Printf("mimdserve: serving %d sectors over %d disks on http://%s\n", a.DataSectors(), a.Disks(), addr)
+	fmt.Printf("  curl 'http://%s/v1/vol/read?off=0&count=8'\n", addr)
+	fmt.Printf("  curl -XPOST 'http://%s/v1/vol/write?off=4096&count=16'\n", addr)
+	fmt.Printf("  curl 'http://%s/v1/stats'\n", addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-srvErr:
+		fmt.Fprintf(os.Stderr, "mimdserve: %v\n", err)
+		return 1
+	case <-stop:
+	}
+	_ = srv.Close()
+	gw.Close()
+	if err := <-runErr; err != nil {
+		fmt.Fprintf(os.Stderr, "mimdserve: gateway: %v\n", err)
+		return 1
+	}
+	fmt.Println("mimdserve: drained, bye")
+	return 0
+}
+
+// runOnce builds a fresh stack and drives one deterministic load.
+func runOnce(build func() (*core.Array, error), limits service.Limits, lc service.LoadConfig) (*service.LoadReport, service.Stats, error) {
+	a, err := build()
+	if err != nil {
+		return nil, service.Stats{}, err
+	}
+	h := service.NewHarness(a, service.Config{Deterministic: true, Limits: limits})
+	lc.Sectors = a.DataSectors()
+	rep, err := h.RunLoad(lc)
+	if err != nil {
+		_ = h.Close()
+		return nil, service.Stats{}, err
+	}
+	st := h.GW.Stats()
+	if err := h.Close(); err != nil {
+		return nil, service.Stats{}, err
+	}
+	return rep, st, nil
+}
+
+func printReport(rep *service.LoadReport, st service.Stats) {
+	fmt.Printf("issued %d: ok %d, rate-limited 429 %d, overloaded 429 %d, failed %d (retries %d, sleeps %d)\n",
+		rep.Issued, rep.OK, rep.Limited, rep.Overloaded, rep.Failed, rep.Retries, st.Sleeps)
+	fmt.Printf("windows %d, digest sha256 %x\n", len(rep.Windows), sha256.Sum256([]byte(rep.Digest())))
+}
+
+func runLoad(build func() (*core.Array, error), limits service.Limits, lc service.LoadConfig) int {
+	rep, st, err := runOnce(build, limits, lc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mimdserve: %v\n", err)
+		return 1
+	}
+	printReport(rep, st)
+	if rep.Aborted > 0 {
+		fmt.Fprintf(os.Stderr, "mimdserve: %d tenants aborted\n", rep.Aborted)
+		return 1
+	}
+	return 0
+}
+
+// runSmoke drives a small load twice and demands byte-identical digests —
+// the check scripts/check.sh wires into CI.
+func runSmoke(build func() (*core.Array, error), limits service.Limits) int {
+	if limits.Default.Rate == 0 {
+		limits.Default = service.TenantLimit{Rate: 8, Burst: 4}
+	}
+	lc := service.LoadConfig{
+		Tenants: 200, Requests: 5000, Seed: 1,
+		ThinkMean: 100 * des.Millisecond, MaxRetries: 2,
+	}
+	var digests [2]string
+	for i := range digests {
+		rep, st, err := runOnce(build, limits, lc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mimdserve: smoke run %d: %v\n", i+1, err)
+			return 1
+		}
+		if i == 0 {
+			printReport(rep, st)
+		}
+		if rep.Aborted > 0 || rep.OK == 0 {
+			fmt.Fprintf(os.Stderr, "mimdserve: smoke run %d unhealthy: ok=%d aborted=%d\n", i+1, rep.OK, rep.Aborted)
+			return 1
+		}
+		digests[i] = rep.Digest()
+	}
+	if digests[0] != digests[1] {
+		fmt.Fprintln(os.Stderr, "mimdserve: SMOKE FAIL: digests differ across identical runs")
+		return 1
+	}
+	fmt.Println("mimdserve: smoke ok (byte-identical digests)")
+	return 0
+}

@@ -474,6 +474,68 @@ func TestBatchThenCrash(t *testing.T) {
 	}
 }
 
+// TestCrashDuringRecoveryScan: a second power failure arriving while the
+// first recovery's divergence scan is mid-flight — with repairs queued but
+// unresolved — must not leak those repairs (every queued repair still ends
+// in Repaired or RepairsDropped) and must leave the cumulative
+// RecoveryCounters reconciling after the second recovery finishes. The
+// copies whose repairs the crash destroyed are badKnown already, so the
+// second scan's re-queue path, not fresh condemnation, has to find them.
+func TestCrashDuringRecoveryScan(t *testing.T) {
+	sim, a := crashArray(t, Volatile, func(o *Options) {
+		o.Crash.ScanMBps = 2 // slow the scan so the second crash lands mid-flight
+	})
+	outstanding := 0
+	crashMidLoad(t, sim, a, 80, 11, &outstanding)
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Run until the scan is mid-flight with repairs queued but not yet
+	// resolved — the window where a crash can strand them.
+	for {
+		rec := a.Recovery()
+		if a.RecoveryScanActive() && rec.RepairsQueued > rec.Repaired+rec.RepairsDropped {
+			break
+		}
+		if !sim.Step() {
+			t.Fatal("recovery scan finished without a pending-repair window")
+		}
+	}
+	if err := a.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if a.RecoveryScanActive() {
+		t.Fatal("recovery scan still active on a crashed array")
+	}
+	// The crash sweep must resolve every repair it destroyed on the spot:
+	// anything queued and unresolved here has leaked.
+	rec := a.Recovery()
+	if rec.RepairsQueued != rec.Repaired+rec.RepairsDropped {
+		t.Fatalf("crash mid-scan leaked queued repairs: %+v", rec)
+	}
+	if rec.RepairsDropped == 0 {
+		t.Fatalf("second crash dropped no repairs — the test missed the window: %+v", rec)
+	}
+	if err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Drain(des.Hour) {
+		t.Fatal("drain after second recovery")
+	}
+	rec = reconcileRecovery(t, a)
+	if rec.Crashes != 2 || rec.Recoveries != 2 {
+		t.Fatalf("cycle counters %+v, want two crashes and two recoveries", rec)
+	}
+	// The re-queue path ran: divergence found exceeds what one scan could
+	// condemn fresh, because dropped repairs were found again.
+	if rec.RepairsQueued <= rec.RepairsDropped {
+		t.Fatalf("dropped repairs were never re-queued: %+v", rec)
+	}
+	if outstanding != 0 {
+		t.Fatalf("%d submissions never completed", outstanding)
+	}
+}
+
 // TestCrashWhileCrashedScrubRejected: crash/recover twice in a row to
 // exercise cumulative counters.
 func TestRepeatedCrashCycles(t *testing.T) {

@@ -351,11 +351,27 @@ const throttleRecheck = des.Millisecond
 // of MaxQueueDepth — the threshold where background work (delayed
 // propagation, rebuild chunk starts) steps aside so foreground latency
 // recovers first. Always false with admission control off.
+//
+// At MaxQueueDepth == 1 "half" and the shed threshold coincide: a queued
+// foreground request is already at depth, so background work would only
+// yield once foreground is being rejected — never actually deprioritized.
+// There the predicate instead watches for any foreground activity at all
+// (a queued request or a command on the bus), giving background work a
+// genuine step-aside band while still draining when the array idles.
 func (a *Array) overloaded() bool {
-	if a.opts.MaxQueueDepth == 0 {
+	depth := a.opts.MaxQueueDepth
+	if depth == 0 {
 		return false
 	}
-	half := (a.opts.MaxQueueDepth + 1) / 2
+	if depth == 1 {
+		for _, d := range a.drives {
+			if len(d.queue) >= 1 || (!d.failed && d.bus.Busy()) {
+				return true
+			}
+		}
+		return false
+	}
+	half := (depth + 1) / 2
 	for _, d := range a.drives {
 		if len(d.queue) >= half {
 			return true
@@ -401,7 +417,10 @@ func (a *Array) admit(op Op, pieces []layout.Piece) error {
 			if a.obsRec != nil {
 				a.obsRec.ShedOverload++
 			}
-			return fmt.Errorf("%w: chunk %d", ErrOverload, p.Chunk)
+			// The bare sentinel, not an fmt.Errorf wrap: this is the hottest
+			// path in the array during an overload burst, and a per-rejection
+			// allocation is exactly the wrong time to allocate.
+			return ErrOverload
 		}
 	}
 	return nil

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/layout"
+)
+
+// TestShedBurstAllocs pins the overload shed path at zero allocations per
+// rejection: during a burst the reject path is the hottest code in the
+// array, and building a wrapped error per shed (the old
+// fmt.Errorf("%w: chunk %d", ...)) allocated exactly when allocation hurt
+// most.
+func TestShedBurstAllocs(t *testing.T) {
+	_, a := newArray(t, layout.Config{Ds: 1, Dr: 1, Dm: 1}, "fcfs", func(o *Options) {
+		o.DataSectors = 1 << 15
+		o.MaxQueueDepth = 2
+	})
+	onDone := func(Result) {}
+	// Fill the single drive to depth without stepping the simulation: the
+	// queue never drains, so every further submit must shed.
+	for {
+		err := a.Submit(Read, 0, 8, false, onDone)
+		if errors.Is(err, ErrOverload) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the resolve arena before measuring.
+	for i := 0; i < 64; i++ {
+		if err := a.Submit(Read, int64(i%32)*64, 8, false, onDone); !errors.Is(err, ErrOverload) {
+			t.Fatalf("warmup submit %d: %v, want ErrOverload", i, err)
+		}
+	}
+	shedsBefore := a.Sheds().Overload
+	const burst = 512
+	avg := testing.AllocsPerRun(4, func() {
+		for i := 0; i < burst; i++ {
+			if err := a.Submit(Read, int64(i%32)*64, 8, false, onDone); !errors.Is(err, ErrOverload) {
+				t.Fatalf("burst submit %d: %v, want ErrOverload", i, err)
+			}
+		}
+	})
+	if perOp := avg / burst; perOp > 0.01 {
+		t.Fatalf("shed path allocates %.3f allocs/op, want 0", perOp)
+	}
+	if got := a.Sheds().Overload; got <= shedsBefore {
+		t.Fatal("measured burst shed nothing")
+	}
+}
+
+// TestBackgroundThrottleBoundary tables the background-throttle predicate
+// across MaxQueueDepth 1–4. After k accepted submits on a one-drive array
+// the state is one command in flight plus k-1 queued, so each row pins the
+// predicate at an exact occupancy. The depth-1 rows are the regression for
+// the off-by-one where "half" equalled the shed threshold and background
+// work was never deprioritized ahead of foreground rejection.
+func TestBackgroundThrottleBoundary(t *testing.T) {
+	cases := []struct {
+		depth   int
+		submits int
+		want    bool
+	}{
+		// depth 1: any foreground activity — a command on the bus or a
+		// queued request — throttles background work; idle does not.
+		{1, 0, false},
+		{1, 1, true}, // in flight, queue empty: the old half-depth predicate said false
+		{1, 2, true},
+		// depth 2: half = 1 — throttle once a request queues behind the
+		// in-flight one, strictly before the shed threshold.
+		{2, 0, false},
+		{2, 1, false},
+		{2, 2, true},
+		{2, 3, true},
+		// depth 3: half = 2.
+		{3, 2, false},
+		{3, 3, true},
+		// depth 4: half = 2 — the throttle band [2, 4) sits below the shed
+		// depth.
+		{4, 2, false},
+		{4, 3, true},
+		{4, 4, true},
+	}
+	for _, c := range cases {
+		sim, a := newArray(t, layout.Config{Ds: 1, Dr: 1, Dm: 1}, "fcfs", func(o *Options) {
+			o.DataSectors = 1 << 15
+			o.MaxQueueDepth = c.depth
+		})
+		done := 0
+		for i := 0; i < c.submits; i++ {
+			if err := a.Submit(Read, int64(i)*64, 8, false, func(Result) { done++ }); err != nil {
+				t.Fatalf("depth %d: submit %d: %v", c.depth, i, err)
+			}
+		}
+		if got := a.overloaded(); got != c.want {
+			t.Errorf("depth %d after %d submits: overloaded() = %v, want %v",
+				c.depth, c.submits, got, c.want)
+		}
+		for done < c.submits {
+			if !sim.Step() {
+				t.Fatalf("depth %d: stalled at %d/%d", c.depth, done, c.submits)
+			}
+		}
+		if !a.Drain(des.Hour) {
+			t.Fatalf("depth %d: drain failed", c.depth)
+		}
+		if a.overloaded() {
+			t.Errorf("depth %d: overloaded() true on an idle array", c.depth)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import "repro/internal/des"
+
+// Volume is the surface a storage front-end needs from an array: submit
+// I/O, observe backpressure and fault accounting, and drive the
+// crash/recovery cycle. It is exactly the slice of *Array the service
+// layer consumes — extracting it keeps `internal/service` (and any future
+// multi-brick router) from reaching into array internals, and lets tests
+// and shims stand in for a real array.
+//
+// Every method must be called from the goroutine that owns the volume's
+// Sim (the simulation is single-threaded); the service layer's
+// virtual-time gateway enforces that discipline.
+type Volume interface {
+	// Submit queues one logical request; done (optional) runs at
+	// completion, through the simulator. Synchronous errors (ErrOverload,
+	// ErrCrashed, out-of-range) mean the request was never queued and done
+	// will not run.
+	Submit(op Op, off int64, count int, async bool, done func(Result)) error
+	// SubmitBatch submits ops in order with amortized dispatch, stopping
+	// at the first error; SubmitBatchErrs attempts every op and returns
+	// index-aligned per-op errors.
+	SubmitBatch(ops []BatchOp) (int, error)
+	SubmitBatchErrs(ops []BatchOp) ([]error, int)
+
+	// Sim is the discrete-event clock the volume lives on.
+	Sim() *des.Sim
+	// DataSectors is the logical capacity in sectors.
+	DataSectors() int64
+	// Disks is the number of drives (spares included).
+	Disks() int
+	// Idle reports no queued, in-flight, or background work.
+	Idle() bool
+	// Drain runs the simulation until Idle, bounded by maxTime.
+	Drain(maxTime des.Time) bool
+
+	// Faults, Hedges, and Sheds expose the fault/hedge/admission
+	// accounting a front-end surfaces as service metrics.
+	Faults() FaultCounters
+	Hedges() HedgeCounters
+	Sheds() ShedCounters
+
+	// Crashed/Crash/Recover/Recovery drive the power-fail cycle
+	// (Options.Crash must be enabled for Crash to succeed).
+	Crashed() bool
+	Crash() error
+	Recover() error
+	Recovery() RecoveryCounters
+}
+
+// Array implements Volume.
+var _ Volume = (*Array)(nil)

@@ -64,6 +64,7 @@ var Registry = map[string]Runner{
 	"degraded-rebuild":       figRunner(DegradedRebuild),
 	"fail-slow":              figRunner(FailSlow),
 	"scrub":                  figRunner(Scrub),
+	"service":                figRunner(Service),
 }
 
 func figRunner(f func(Config) (*Figure, error)) Runner {

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// MemListener is an in-process net.Listener over synchronous pipes: the
+// load generator and tests run the full HTTP stack — client transport,
+// wire format, server connection handling — without a TCP port. Dial
+// returns the client half of a fresh pipe whose server half comes out of
+// Accept.
+type MemListener struct {
+	conns  chan net.Conn
+	once   sync.Once
+	closed chan struct{}
+}
+
+// NewMemListener returns an open listener.
+func NewMemListener() *MemListener {
+	return &MemListener{conns: make(chan net.Conn), closed: make(chan struct{})}
+}
+
+// Dial opens a new connection to the listener.
+func (l *MemListener) Dial(ctx context.Context) (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("memlistener: closed")
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Accept implements net.Listener.
+func (l *MemListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *MemListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+// Addr implements net.Listener.
+func (l *MemListener) Addr() net.Addr { return memAddr{} }

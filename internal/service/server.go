@@ -1,0 +1,166 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+// Volume returns the wrapped volume. Touch it only through Admin while
+// the gateway is open.
+func (g *Gateway) Volume() core.Volume { return g.vol }
+
+// apiResponse is the JSON body the block endpoints return. Timestamps
+// are virtual microseconds.
+type apiResponse struct {
+	Status       int     `json:"status"`
+	Error        string  `json:"error,omitempty"`
+	SubmitUs     float64 `json:"submit_us"`
+	DoneUs       float64 `json:"done_us"`
+	LatencyUs    float64 `json:"latency_us"`
+	RetryAfterUs float64 `json:"retry_after_us,omitempty"`
+}
+
+// statsPayload is /v1/stats: the gateway's counters plus the array's
+// own accounting, snapshotted on the run loop.
+type statsPayload struct {
+	Gateway  Stats                 `json:"gateway"`
+	Sheds    core.ShedCounters     `json:"sheds"`
+	Faults   core.FaultCounters    `json:"faults"`
+	Hedges   core.HedgeCounters    `json:"hedges"`
+	Recovery core.RecoveryCounters `json:"recovery"`
+	Crashed  bool                  `json:"crashed"`
+	NowUs    float64               `json:"now_us"`
+}
+
+// Server is the HTTP block front-end over a Gateway:
+//
+//	GET  /v1/vol/read?off=N&count=N    submit a read
+//	POST /v1/vol/write?off=N&count=N   submit a synchronous write
+//	GET  /v1/stats                     gateway + array counters
+//	POST /v1/admin/crash               power-fail the array
+//	POST /v1/admin/recover             recover it
+//	GET  /healthz                      liveness
+//
+// Tenants identify with the X-Tenant header (default "anon") and order
+// their own requests with X-Seq. Rejections come back as HTTP 429 with
+// Retry-After (whole virtual seconds, rounded up) and X-Retry-After-Us
+// (exact virtual microseconds); a crashed array answers 503.
+type Server struct {
+	gw  *Gateway
+	mux *http.ServeMux
+}
+
+// NewServer builds the front-end over gw.
+func NewServer(gw *Gateway) *Server {
+	s := &Server{gw: gw, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/vol/read", func(w http.ResponseWriter, r *http.Request) {
+		s.handleIO(w, r, core.Read, http.MethodGet)
+	})
+	s.mux.HandleFunc("/v1/vol/write", func(w http.ResponseWriter, r *http.Request) {
+		s.handleIO(w, r, core.Write, http.MethodPost)
+	})
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/admin/crash", s.handleAdmin(func(v core.Volume) error { return v.Crash() }))
+	s.mux.HandleFunc("/v1/admin/recover", s.handleAdmin(func(v core.Volume) error { return v.Recover() }))
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleIO(w http.ResponseWriter, r *http.Request, op core.Op, method string) {
+	if r.Method != method {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	off, err := strconv.ParseInt(q.Get("off"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad off", http.StatusBadRequest)
+		return
+	}
+	count := 8
+	if c := q.Get("count"); c != "" {
+		count, err = strconv.Atoi(c)
+		if err != nil {
+			http.Error(w, "bad count", http.StatusBadRequest)
+			return
+		}
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "anon"
+	}
+	var seq uint64
+	if sq := r.Header.Get("X-Seq"); sq != "" {
+		seq, err = strconv.ParseUint(sq, 10, 64)
+		if err != nil {
+			http.Error(w, "bad seq", http.StatusBadRequest)
+			return
+		}
+	}
+	resp := s.gw.Do(Request{Tenant: tenant, Seq: seq, Op: op, Off: off, Count: count})
+	writeResponse(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var p statsPayload
+	admin := s.gw.Admin(func() error {
+		v := s.gw.Volume()
+		p = statsPayload{
+			Sheds:    v.Sheds(),
+			Faults:   v.Faults(),
+			Hedges:   v.Hedges(),
+			Recovery: v.Recovery(),
+			Crashed:  v.Crashed(),
+			NowUs:    float64(v.Sim().Now()),
+		}
+		return nil
+	})
+	if admin.Status != StatusOK {
+		http.Error(w, admin.Err, admin.Status)
+		return
+	}
+	p.Gateway = s.gw.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(p)
+}
+
+func (s *Server) handleAdmin(fn func(core.Volume) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeResponse(w, s.gw.Admin(func() error { return fn(s.gw.Volume()) }))
+	}
+}
+
+func writeResponse(w http.ResponseWriter, resp Response) {
+	if resp.RetryAfter > 0 {
+		secs := int64(math.Ceil(float64(resp.RetryAfter) / float64(des.Second)))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("X-Retry-After-Us", strconv.FormatFloat(float64(resp.RetryAfter), 'f', -1, 64))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.Status)
+	_ = json.NewEncoder(w).Encode(apiResponse{
+		Status:       resp.Status,
+		Error:        resp.Err,
+		SubmitUs:     float64(resp.Submit),
+		DoneUs:       float64(resp.Done),
+		LatencyUs:    float64(resp.Latency()),
+		RetryAfterUs: float64(resp.RetryAfter),
+	})
+}

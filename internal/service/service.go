@@ -1,0 +1,110 @@
+// Package service puts a storage-service front-end on a simulated array:
+// an HTTP block API, per-tenant token-bucket rate limiting, and the
+// virtual-time gateway that bridges goroutine-per-connection handlers
+// onto the array's discrete-event clock.
+//
+// The hard problem is the clock. Handlers run on OS threads in wall
+// time; the array lives on a des.Sim that only one goroutine may touch
+// and that jumps between event timestamps. The Gateway owns the Sim:
+// callers park in Do/Sleep while their request rides the simulator, and
+// the gateway's run loop advances virtual time, waking each caller when
+// its completion event fires. In deterministic mode the loop only
+// advances when every registered client is parked (a counting barrier,
+// the same discipline des.Sharded uses across shards), and admits each
+// barrier's arrivals in (tenant, seq) order — so a load run is
+// byte-identical no matter how the OS schedules a thousand tenant
+// goroutines. In real-time mode the barrier is dropped and the loop
+// advances whenever someone is waiting, which is what an interactive
+// server wants.
+//
+// Backpressure composes from two layers, both surfaced as HTTP 429 with
+// a Retry-After: the gateway's token buckets (per-tenant rates in
+// virtual time) reject before the array sees the request, and the
+// array's own MaxQueueDepth admission control (core.ErrOverload) rejects
+// when the drives are saturated.
+package service
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+// Request is one block-API operation as the gateway admits it: the
+// tenant it bills to, the tenant's own sequence number (the deterministic
+// sort key within a barrier batch), and the I/O itself.
+type Request struct {
+	Tenant string
+	Seq    uint64
+	Op     core.Op
+	Off    int64
+	Count  int
+}
+
+// Response statuses, deliberately HTTP's: the gateway is the policy
+// layer and the HTTP server translates 1:1.
+const (
+	StatusOK          = 200
+	StatusBadRequest  = 400
+	StatusTooMany     = 429
+	StatusFailed      = 500
+	StatusUnavailable = 503
+)
+
+// Response reports one completed gateway call. Submit and Done are
+// virtual timestamps; a 429 carries RetryAfter, the virtual duration
+// after which the tenant's bucket (or the array's queues) should admit a
+// retry.
+type Response struct {
+	Status     int
+	Err        string
+	Submit     des.Time
+	Done       des.Time
+	RetryAfter des.Time
+}
+
+// Latency is the request's virtual service time.
+func (r Response) Latency() des.Time { return r.Done - r.Submit }
+
+// Stats counts gateway activity. Requests tallies every admitted call
+// (I/O and admin, not sleeps); the rejection counters split the 429/503
+// paths by cause.
+type Stats struct {
+	Requests    int64
+	OK          int64
+	Failed      int64
+	RateLimited int64 // 429: token bucket said no
+	Overloaded  int64 // 429: array admission control (ErrOverload)
+	Unavailable int64 // 503: array crashed
+	BadRequest  int64
+	Sleeps      int64
+}
+
+// ErrGatewayClosed reports a call against a gateway that has shut down.
+var ErrGatewayClosed = errors.New("service: gateway closed")
+
+// ErrGatewayStalled reports a deterministic-mode deadlock: every client
+// parked, no pending arrivals, and the simulator out of events — some
+// completion can never fire.
+var ErrGatewayStalled = errors.New("service: gateway stalled (no events left with callers parked)")
+
+// statusOf maps a synchronous submit error or completion error to a
+// response status.
+func statusOf(err error) int {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, core.ErrOverload):
+		return StatusTooMany
+	case errors.Is(err, core.ErrCrashed):
+		return StatusUnavailable
+	case errors.Is(err, core.ErrDataLost),
+		errors.Is(err, core.ErrNoFreshReplica),
+		errors.Is(err, core.ErrCorruptData),
+		errors.Is(err, core.ErrDeadlineExceeded):
+		return StatusFailed
+	default:
+		return StatusBadRequest
+	}
+}

@@ -81,6 +81,15 @@ type Array struct {
 	*core.Array
 }
 
+// Volume is the array surface a storage front-end consumes — submit I/O,
+// observe backpressure and fault accounting, drive the crash/recovery
+// cycle — without reaching into array internals. *Array implements it
+// (via the embedded core array); the service layer and future multi-brick
+// routers are written against this interface.
+type Volume = core.Volume
+
+var _ Volume = (*Array)(nil)
+
 // Result reports one completed request.
 type Result = core.Result
 

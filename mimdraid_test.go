@@ -92,6 +92,121 @@ func TestPublicAPICrashRecovery(t *testing.T) {
 	}
 }
 
+// Batch submission composes with admission control through the public
+// API: one SubmitBatchErrs mixing malformed operations with enough valid
+// ones to trip MaxQueueDepth returns an index-aligned error slice —
+// malformed slots get their own errors, excess load gets ErrOverload,
+// accepted slots (and only those) complete — and the shed work succeeds
+// when resubmitted after the queues drain.
+func TestPublicAPIBatchErrsWithOverload(t *testing.T) {
+	sim := NewSim()
+	arr, err := New(sim, Options{
+		Config: SRArray(2, 2), Policy: "rsatf", DataSectors: 1 << 16, Seed: 1,
+		MaxQueueDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The service front-end consumes the array through Volume; this test
+	// drives the same surface.
+	var vol Volume = arr
+
+	const nOps = 24
+	done := make([]int, nOps)
+	var ops []BatchOp
+	for i := 0; i < nOps; i++ {
+		i := i
+		off := int64(i%8) * 512 // pile onto few stripes: queues build fast
+		if i%5 == 3 {
+			off = vol.DataSectors() + int64(i) // malformed: past end of volume
+		}
+		ops = append(ops, BatchOp{Op: OpWrite, Off: off, Count: 8, Done: func(Result) { done[i]++ }})
+	}
+	errs, n := vol.SubmitBatchErrs(ops)
+	if errs == nil {
+		t.Fatal("expected a partial-failure error slice, got full acceptance")
+	}
+	if len(errs) != nOps {
+		t.Fatalf("errs not index-aligned: len %d, want %d", len(errs), nOps)
+	}
+	accepted, shed, malformed := 0, 0, 0
+	for i, e := range errs {
+		switch {
+		case e == nil:
+			accepted++
+		case errors.Is(e, ErrOverload):
+			shed++
+			if i%5 == 3 {
+				t.Fatalf("malformed op %d reported ErrOverload", i)
+			}
+		default:
+			malformed++
+			if i%5 != 3 {
+				t.Fatalf("valid op %d rejected with %v", i, e)
+			}
+		}
+	}
+	if accepted != n {
+		t.Fatalf("accepted count %d != n %d", accepted, n)
+	}
+	if accepted == 0 || shed == 0 || malformed == 0 {
+		t.Fatalf("want all three outcomes, got accepted=%d shed=%d malformed=%d", accepted, shed, malformed)
+	}
+	if got := arr.Sheds().Overload; got != int64(shed) {
+		t.Fatalf("Sheds().Overload = %d, want %d", got, shed)
+	}
+	sim.Run()
+	var retry []BatchOp
+	for i, e := range errs {
+		switch {
+		case e == nil:
+			if done[i] != 1 {
+				t.Fatalf("accepted op %d completed %d times, want 1", i, done[i])
+			}
+		default:
+			if done[i] != 0 {
+				t.Fatalf("rejected op %d ran its Done %d times", i, done[i])
+			}
+			if errors.Is(e, ErrOverload) {
+				retry = append(retry, ops[i])
+			}
+		}
+	}
+	// Retry the shed work in waves — resubmit, drain, resubmit what was
+	// shed again — exactly the discipline a 429-honoring client follows.
+	// Every op must land within a bounded number of waves.
+	for wave := 0; len(retry) > 0; wave++ {
+		if wave > 2*nOps {
+			t.Fatalf("retry never drained: %d ops still shed", len(retry))
+		}
+		errs, _ := vol.SubmitBatchErrs(retry)
+		var next []BatchOp
+		for i, e := range errs {
+			switch {
+			case e == nil:
+			case errors.Is(e, ErrOverload):
+				next = append(next, retry[i])
+			default:
+				t.Fatalf("retry wave %d op %d failed with %v", wave, i, e)
+			}
+		}
+		sim.Run()
+		retry = next
+	}
+	for i := range done {
+		want := 1
+		if i%5 == 3 {
+			want = 0 // malformed ops never run
+		}
+		if done[i] != want {
+			t.Fatalf("op %d completed %d times, want %d", i, done[i], want)
+		}
+	}
+	if !vol.Idle() {
+		t.Fatal("volume not idle after drain")
+	}
+}
+
 func TestRecommendMatchesPaperExamples(t *testing.T) {
 	spec := ST39133LWV()
 	// Cello base, 6 disks, background propagation, low load, L=4.14: the

@@ -19,6 +19,11 @@ go test -race -count=2 -run 'TestScrub|TestCorruption|TestSilent|TestLatent|Test
 # catch order-dependent residue.
 go test -race -count=2 -run 'TestCrash|TestBatteryHorizon|TestScheduledCrash|TestBatchThenCrash|TestRepeatedCrash' ./internal/core
 go test -race -count=2 -run 'TestChaos' ./internal/chaos ./internal/experiments
+# Service front-end: the gateway determinism digest under the race
+# detector, then the mimdserve smoke (two identical loads through the
+# full HTTP stack must produce byte-identical digests).
+go test -race -count=2 -run 'TestDeterministicDigest|TestServerHTTP' ./internal/service
+go run ./cmd/mimdserve -smoke
 # Fuzz smoke: short bounded runs of the NVRAM snapshot decoder and the
 # crash/recovery-scan fuzzers (the seed corpora alone regression-test
 # the known crashers).

@@ -19,6 +19,16 @@
 // Per-tenant rate limits (-rate/-burst, tenant = X-Tenant header) and the
 // array's own admission control (-max-queue-depth) both surface as HTTP
 // 429 with Retry-After.
+//
+// -slo attaches the per-tenant SLO control plane: tenants carry a tier
+// (premium / standard / best-effort — name your live tenants with a
+// "premium..." or "best..." X-Tenant prefix, the load generator's
+// "t%05d" fleet is classified one premium and two each standard and
+// best-effort per five), the controller judges windowed p99 against the
+// -slo-*-ms targets, and under sustained violation it defers background
+// work, then sheds best-effort, then standard — never premium. Brownout
+// is visible in /v1/stats ("slo") and /healthz ("degraded: <level>");
+// shed requests answer 429 with "shed: service brownout".
 package main
 
 import (
@@ -28,11 +38,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/layout"
 	"repro/internal/service"
+	"repro/internal/slo"
 )
 
 func main() {
@@ -51,6 +64,14 @@ func main() {
 		rate  = flag.Float64("rate", 0, "default per-tenant rate limit in requests per virtual second (0 = unlimited)")
 		burst = flag.Float64("burst", 4, "default per-tenant burst")
 
+		sloOn       = flag.Bool("slo", false, "attach the per-tenant SLO control plane (adaptive degradation + priority shedding)")
+		sloWindowMs = flag.Float64("slo-window-ms", 100, "SLO evaluation window, virtual ms")
+		sloPremMs   = flag.Float64("slo-premium-ms", 25, "premium p99 target, virtual ms (0 = unjudged)")
+		sloStdMs    = flag.Float64("slo-standard-ms", 60, "standard p99 target, virtual ms (0 = unjudged)")
+		sloBeMs     = flag.Float64("slo-besteffort-ms", 0, "best-effort p99 target, virtual ms (0 = unjudged)")
+		sloViolate  = flag.Int("slo-violate", 3, "consecutive violating windows before escalating one brownout level")
+		sloRecover  = flag.Int("slo-recover", 4, "consecutive compliant windows before stepping one level back")
+
 		tenants  = flag.Int("tenants", 1000, "load mode: simulated tenants")
 		requests = flag.Int("requests", 100000, "load mode: total HTTP requests")
 		thinkMs  = flag.Float64("think-ms", 200, "load mode: mean per-tenant think time, virtual ms")
@@ -67,13 +88,35 @@ func main() {
 			pol = "rsatf"
 		}
 	}
-	build := func() (*core.Array, error) {
-		return core.New(des.New(), core.Options{
+	ms := func(v float64) des.Time { return des.Time(v * float64(des.Millisecond)) }
+	build := func() (*core.Array, *slo.Controller, error) {
+		a, err := core.New(des.New(), core.Options{
 			Config: cfg, Policy: pol, Seed: *seed, MaxQueueDepth: *depth,
 			// Arm the power switch so /v1/admin/crash and /v1/admin/recover
 			// work over the wire.
 			Crash: core.CrashModel{Enabled: true, Durability: core.BatteryBacked},
 		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if !*sloOn {
+			return a, nil, nil
+		}
+		var targets [slo.NumTiers]des.Time
+		targets[slo.Premium] = ms(*sloPremMs)
+		targets[slo.Standard] = ms(*sloStdMs)
+		targets[slo.BestEffort] = ms(*sloBeMs)
+		ctl, err := slo.New(a, slo.Options{
+			Window:         ms(*sloWindowMs),
+			Targets:        targets,
+			ViolateWindows: *sloViolate,
+			RecoverWindows: *sloRecover,
+			Classify:       tierOf,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, ctl, nil
 	}
 	limits := service.Limits{Default: service.TenantLimit{Rate: *rate, Burst: *burst}}
 
@@ -95,18 +138,48 @@ func main() {
 	}
 }
 
+// tierOf classifies a tenant: explicit "premium..."/"best..." name
+// prefixes for live HTTP tenants, index modulo five for the load
+// generator's "t%05d" fleet (one premium, two standard, two best-effort
+// in every five tenants), standard otherwise.
+func tierOf(name string) slo.Tier {
+	switch {
+	case strings.HasPrefix(name, "premium"):
+		return slo.Premium
+	case strings.HasPrefix(name, "best"):
+		return slo.BestEffort
+	}
+	if i, err := strconv.Atoi(strings.TrimPrefix(name, "t")); err == nil && i >= 0 {
+		switch i % 5 {
+		case 0:
+			return slo.Premium
+		case 1, 2:
+			return slo.Standard
+		default:
+			return slo.BestEffort
+		}
+	}
+	return slo.Standard
+}
+
+type buildFn func() (*core.Array, *slo.Controller, error)
+
 // serve runs the real-time HTTP front-end until interrupted.
-func serve(build func() (*core.Array, error), limits service.Limits, addr string) int {
-	a, err := build()
+func serve(build buildFn, limits service.Limits, addr string) int {
+	a, ctl, err := build()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mimdserve: %v\n", err)
 		return 2
 	}
-	gw := service.NewGateway(a, service.Config{Limits: limits})
+	gw := service.NewGateway(a, service.Config{Limits: limits, SLO: ctl})
 	runErr := make(chan error, 1)
 	go func() { runErr <- gw.Run() }()
 	srv := &http.Server{Addr: addr, Handler: service.NewServer(gw)}
-	fmt.Printf("mimdserve: serving %d sectors over %d disks on http://%s\n", a.DataSectors(), a.Disks(), addr)
+	mode := ""
+	if ctl != nil {
+		mode = " (SLO control plane on)"
+	}
+	fmt.Printf("mimdserve: serving %d sectors over %d disks on http://%s%s\n", a.DataSectors(), a.Disks(), addr, mode)
 	fmt.Printf("  curl 'http://%s/v1/vol/read?off=0&count=8'\n", addr)
 	fmt.Printf("  curl -XPOST 'http://%s/v1/vol/write?off=4096&count=16'\n", addr)
 	fmt.Printf("  curl 'http://%s/v1/stats'\n", addr)
@@ -132,38 +205,47 @@ func serve(build func() (*core.Array, error), limits service.Limits, addr string
 }
 
 // runOnce builds a fresh stack and drives one deterministic load.
-func runOnce(build func() (*core.Array, error), limits service.Limits, lc service.LoadConfig) (*service.LoadReport, service.Stats, error) {
-	a, err := build()
+func runOnce(build buildFn, limits service.Limits, lc service.LoadConfig) (*service.LoadReport, service.Stats, string, error) {
+	a, ctl, err := build()
 	if err != nil {
-		return nil, service.Stats{}, err
+		return nil, service.Stats{}, "", err
 	}
-	h := service.NewHarness(a, service.Config{Deterministic: true, Limits: limits})
+	h := service.NewHarness(a, service.Config{Deterministic: true, Limits: limits, SLO: ctl})
 	lc.Sectors = a.DataSectors()
 	rep, err := h.RunLoad(lc)
 	if err != nil {
 		_ = h.Close()
-		return nil, service.Stats{}, err
+		return nil, service.Stats{}, "", err
 	}
 	st := h.GW.Stats()
 	if err := h.Close(); err != nil {
-		return nil, service.Stats{}, err
+		return nil, service.Stats{}, "", err
 	}
-	return rep, st, nil
+	// The SLO snapshot folds into the smoke digest so a nondeterministic
+	// controller cannot hide behind an identical load report.
+	sloState := ""
+	if ctl != nil {
+		sloState = ctl.State().String()
+	}
+	return rep, st, sloState, nil
 }
 
-func printReport(rep *service.LoadReport, st service.Stats) {
-	fmt.Printf("issued %d: ok %d, rate-limited 429 %d, overloaded 429 %d, failed %d (retries %d, sleeps %d)\n",
-		rep.Issued, rep.OK, rep.Limited, rep.Overloaded, rep.Failed, rep.Retries, st.Sleeps)
-	fmt.Printf("windows %d, digest sha256 %x\n", len(rep.Windows), sha256.Sum256([]byte(rep.Digest())))
+func printReport(rep *service.LoadReport, st service.Stats, sloState string) {
+	fmt.Printf("issued %d: ok %d, rate-limited 429 %d, overloaded 429 %d, shed 429 %d, failed %d (retries %d, sleeps %d)\n",
+		rep.Issued, rep.OK, rep.Limited, rep.Overloaded, st.Shed, rep.Failed, rep.Retries, st.Sleeps)
+	if sloState != "" {
+		fmt.Printf("slo: %s\n", sloState)
+	}
+	fmt.Printf("windows %d, digest sha256 %x\n", len(rep.Windows), sha256.Sum256([]byte(rep.Digest()+sloState)))
 }
 
-func runLoad(build func() (*core.Array, error), limits service.Limits, lc service.LoadConfig) int {
-	rep, st, err := runOnce(build, limits, lc)
+func runLoad(build buildFn, limits service.Limits, lc service.LoadConfig) int {
+	rep, st, sloState, err := runOnce(build, limits, lc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mimdserve: %v\n", err)
 		return 1
 	}
-	printReport(rep, st)
+	printReport(rep, st, sloState)
 	if rep.Aborted > 0 {
 		fmt.Fprintf(os.Stderr, "mimdserve: %d tenants aborted\n", rep.Aborted)
 		return 1
@@ -173,7 +255,7 @@ func runLoad(build func() (*core.Array, error), limits service.Limits, lc servic
 
 // runSmoke drives a small load twice and demands byte-identical digests —
 // the check scripts/check.sh wires into CI.
-func runSmoke(build func() (*core.Array, error), limits service.Limits) int {
+func runSmoke(build buildFn, limits service.Limits) int {
 	if limits.Default.Rate == 0 {
 		limits.Default = service.TenantLimit{Rate: 8, Burst: 4}
 	}
@@ -183,19 +265,19 @@ func runSmoke(build func() (*core.Array, error), limits service.Limits) int {
 	}
 	var digests [2]string
 	for i := range digests {
-		rep, st, err := runOnce(build, limits, lc)
+		rep, st, sloState, err := runOnce(build, limits, lc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mimdserve: smoke run %d: %v\n", i+1, err)
 			return 1
 		}
 		if i == 0 {
-			printReport(rep, st)
+			printReport(rep, st, sloState)
 		}
 		if rep.Aborted > 0 || rep.OK == 0 {
 			fmt.Fprintf(os.Stderr, "mimdserve: smoke run %d unhealthy: ok=%d aborted=%d\n", i+1, rep.OK, rep.Aborted)
 			return 1
 		}
-		digests[i] = rep.Digest()
+		digests[i] = rep.Digest() + sloState
 	}
 	if digests[0] != digests[1] {
 		fmt.Fprintln(os.Stderr, "mimdserve: SMOKE FAIL: digests differ across identical runs")

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Tuning is the runtime-adjustable slice of Options — the actuators an SLO
+// controller (or an operator) may step while the array is live: hedging
+// aggressiveness, admission depth, and the pacing of every class of
+// background work. Each field keeps the semantics of its Options
+// counterpart (0 selects the documented default / adaptive mode); setters
+// validate exactly like New, so a live array can never be tuned into a
+// configuration construction would have rejected.
+type Tuning struct {
+	// HedgeAfter is the hedged-read delay (Options.HedgeAfter): 0 means
+	// adaptive p99-derived, positive pins it. Ignored unless hedging was
+	// enabled at construction.
+	HedgeAfter des.Time
+	// MaxQueueDepth is the admission-control shed depth
+	// (Options.MaxQueueDepth); 0 disables shedding.
+	MaxQueueDepth int
+	// RebuildMBps paces hot-spare reconstruction; 0 restores the default
+	// 8 MB/s.
+	RebuildMBps float64
+	// ScrubMBps paces the background scrubber — the active pass re-paces
+	// from its next chunk, and future StartScrub calls with MBps 0 inherit
+	// it. 0 means DefaultScrubMBps.
+	ScrubMBps float64
+	// RecoveryScanMBps paces the post-crash divergence scan — an active
+	// scan re-paces from its next batch. 0 means DefaultRecoveryScanMBps.
+	RecoveryScanMBps float64
+}
+
+// Tuning snapshots the array's current actuator settings. The returned
+// value round-trips through SetTuning unchanged.
+func (a *Array) Tuning() Tuning {
+	t := Tuning{
+		HedgeAfter:       a.opts.HedgeAfter,
+		MaxQueueDepth:    a.opts.MaxQueueDepth,
+		RebuildMBps:      a.opts.RebuildMBps,
+		ScrubMBps:        a.opts.Scrub.MBps,
+		RecoveryScanMBps: a.opts.Crash.ScanMBps,
+	}
+	if s := a.scrub; s != nil && !s.done {
+		t.ScrubMBps = s.opts.MBps
+	}
+	if s := a.recScan; s != nil && !s.done {
+		t.RecoveryScanMBps = s.mbps
+	}
+	return t
+}
+
+// SetTuning applies t, re-pacing any background work already in flight:
+// the scrubber and recovery scan pick up their new bandwidth at the next
+// chunk, rebuild at the next chunk start, hedging and admission control at
+// the next submit. Invalid values are rejected atomically (nothing is
+// applied).
+func (a *Array) SetTuning(t Tuning) error {
+	if t.HedgeAfter < 0 {
+		return fmt.Errorf("core: negative hedge delay %v", t.HedgeAfter)
+	}
+	if t.MaxQueueDepth < 0 {
+		return fmt.Errorf("core: negative max queue depth %d", t.MaxQueueDepth)
+	}
+	if t.RebuildMBps < 0 || t.ScrubMBps < 0 || t.RecoveryScanMBps < 0 {
+		return fmt.Errorf("core: negative background bandwidth in %+v", t)
+	}
+	a.opts.HedgeAfter = t.HedgeAfter
+	a.opts.MaxQueueDepth = t.MaxQueueDepth
+	a.opts.RebuildMBps = t.RebuildMBps
+	if a.opts.RebuildMBps == 0 {
+		a.opts.RebuildMBps = 8 // New's default
+	}
+	a.opts.Scrub.MBps = t.ScrubMBps
+	if s := a.scrub; s != nil && !s.done {
+		mbps := t.ScrubMBps
+		if mbps == 0 {
+			mbps = DefaultScrubMBps
+		}
+		s.opts.MBps = mbps
+	}
+	a.opts.Crash.ScanMBps = t.RecoveryScanMBps
+	if s := a.recScan; s != nil && !s.done {
+		mbps := t.RecoveryScanMBps
+		if mbps == 0 {
+			mbps = DefaultRecoveryScanMBps
+		}
+		s.mbps = mbps
+	}
+	return nil
+}

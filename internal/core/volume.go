@@ -41,6 +41,12 @@ type Volume interface {
 	Hedges() HedgeCounters
 	Sheds() ShedCounters
 
+	// Tuning and SetTuning expose the runtime actuators (hedge delay,
+	// admission depth, background pacing) an SLO control plane steps while
+	// the volume serves traffic.
+	Tuning() Tuning
+	SetTuning(Tuning) error
+
 	// Crashed/Crash/Recover/Recovery drive the power-fail cycle
 	// (Options.Crash must be enabled for Crash to succeed).
 	Crashed() bool

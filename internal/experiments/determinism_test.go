@@ -64,6 +64,13 @@ func TestParallelMatchesSequential(t *testing.T) {
 			}
 			return f.Render(), nil
 		}},
+		{"slo-chaos", func() (string, error) {
+			f, err := SLOChaos(cfg)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
 	}
 	for _, c := range cases {
 		c := c

@@ -65,6 +65,7 @@ var Registry = map[string]Runner{
 	"fail-slow":              figRunner(FailSlow),
 	"scrub":                  figRunner(Scrub),
 	"service":                figRunner(Service),
+	"slo-chaos":              figRunner(SLOChaos),
 }
 
 func figRunner(f func(Config) (*Figure, error)) Runner {

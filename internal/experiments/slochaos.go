@@ -1,0 +1,709 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/service"
+	"repro/internal/slo"
+)
+
+// The slo-chaos experiment is the control plane's proving ground: the
+// same seeded chaos scenario (a drive failure and rebuild, a fail-slow
+// window, a power-fail/recover cycle, a heavy scrub pass) lands under a
+// bursty multi-tenant load, once with the SLO controller detached and
+// once with it closing the loop. Two stages:
+//
+//   - A gateway run pushes tiered tenants through the full HTTP
+//     front-end in deterministic mode while the scenario plays on the
+//     array underneath, and compares per-tier SLO compliance off vs on.
+//     The controller must buy premium compliance back by shedding in
+//     strict priority order — best-effort first, premium never.
+//   - A cluster run replays a multi-brick scenario on the sharded epoch
+//     engine with one controller per brick, fed and stepped entirely on
+//     that brick's shard. Each variant executes at epoch worker counts
+//     1, 2, and 4 and its digest (scenario timeline, every per-tier
+//     tally, every controller's state) must be byte-identical across
+//     them — the determinism bar the rest of the repo holds.
+
+// sloTierOf assigns load-generator tenant i its tier: one in five
+// premium, two standard, two best-effort.
+func sloTierOf(i int) slo.Tier {
+	switch i % 5 {
+	case 0:
+		return slo.Premium
+	case 1, 2:
+		return slo.Standard
+	default:
+		return slo.BestEffort
+	}
+}
+
+// sloClassifyTenant recovers the tier from a load-generator tenant name
+// ("t%05d"); anything else is standard.
+func sloClassifyTenant(name string) slo.Tier {
+	i, err := strconv.Atoi(strings.TrimPrefix(name, "t"))
+	if err != nil || i < 0 {
+		return slo.Standard
+	}
+	return sloTierOf(i)
+}
+
+// sloGatewaySpec sizes one gateway run of the experiment.
+type sloGatewaySpec struct {
+	cfg         layout.Config
+	spares      int
+	depth       int
+	tenants     int
+	total       int
+	seed        int64
+	think       des.Time
+	rate, burst float64
+	retries     int
+	window      des.Time // load-report window
+	burstPeriod des.Time
+	burstFactor float64
+	sc          chaos.Scenario
+	ctl         slo.Options
+	// met is the per-tier latency bound the compliance metric counts
+	// against (independent of the controller's own judging targets).
+	met [slo.NumTiers]des.Time
+}
+
+// sloTierTotals aggregates one tier's outcomes across its tenants.
+// quota is the tier's share of logical operations; compliance is
+// met/quota, so shed and failed requests count against the tier.
+type sloTierTotals struct {
+	quota, issued, ok, limited, overloaded, failed, met int64
+}
+
+// sloGatewayRes is one gateway run's outcome.
+type sloGatewayRes struct {
+	rep     *service.LoadReport
+	stats   service.Stats
+	state   slo.State
+	tuning  core.Tuning
+	tiers   [slo.NumTiers]sloTierTotals
+	skipped int
+	digest  string
+}
+
+// runSLOGateway drives the tiered load through the HTTP front-end while
+// the chaos scenario plays on the array. on attaches the controller;
+// off leaves the gateway's SLO hooks nil (the byte-identical default).
+func runSLOGateway(spec sloGatewaySpec, on bool) (*sloGatewayRes, error) {
+	sim := des.New()
+	o := core.Options{
+		Config: spec.cfg, Policy: policyFor(spec.cfg), Seed: spec.seed,
+		MaxQueueDepth: spec.depth,
+		Spares:        spec.spares,
+		Hedge:         true,
+		Crash:         core.CrashModel{Enabled: true, Durability: core.Volatile},
+	}
+	if Observe != nil {
+		o.Obs = Observe
+	}
+	a, err := core.New(sim, o)
+	if err != nil {
+		return nil, err
+	}
+	res := &sloGatewayRes{}
+	chaos.Arm(sim, spec.sc, 0, func(e chaos.Event) {
+		switch e.Kind {
+		case chaos.DriveFail:
+			if a.Crashed() || a.FailDrive(e.Drive) != nil {
+				res.skipped++
+			}
+		case chaos.SlowDrive:
+			if a.SetDriveSlow(e.Drive, disk.SlowProfile{Factor: e.Factor}) != nil {
+				res.skipped++
+			}
+		case chaos.ScrubPass:
+			if a.Crashed() || a.StartScrub(core.ScrubOptions{MBps: e.Factor, Passes: 1}) != nil {
+				res.skipped++
+			}
+		case chaos.BrickCrash:
+			if err := a.Crash(); err != nil {
+				panic(fmt.Sprintf("slo-chaos: crash: %v", err))
+			}
+		case chaos.BrickRecover:
+			if err := a.Recover(); err != nil {
+				panic(fmt.Sprintf("slo-chaos: recover: %v", err))
+			}
+		}
+	})
+	var ctl *slo.Controller
+	if on {
+		ctl, err = slo.New(a, spec.ctl)
+		if err != nil {
+			return nil, err
+		}
+	}
+	h := service.NewHarness(a, service.Config{
+		Deterministic: true,
+		Limits:        service.Limits{Default: service.TenantLimit{Rate: spec.rate, Burst: spec.burst}},
+		SLO:           ctl,
+	})
+	rep, err := h.RunLoad(service.LoadConfig{
+		Tenants:     spec.tenants,
+		Requests:    spec.total,
+		Sectors:     a.DataSectors(),
+		Seed:        spec.seed,
+		ThinkMean:   spec.think,
+		MaxRetries:  spec.retries,
+		Window:      spec.window,
+		SLOTarget:   func(i int) des.Time { return spec.met[sloTierOf(i)] },
+		BurstPeriod: spec.burstPeriod,
+		BurstFactor: spec.burstFactor,
+	})
+	if err != nil {
+		_ = h.Close()
+		return nil, err
+	}
+	res.rep = rep
+	res.stats = h.GW.Stats()
+	if err := h.Close(); err != nil {
+		return nil, fmt.Errorf("experiments: slo-chaos harness close: %w", err)
+	}
+	if rep.Aborted != 0 {
+		return nil, fmt.Errorf("experiments: %d tenants aborted on transport errors", rep.Aborted)
+	}
+	res.state = ctl.State()
+	res.tuning = a.Tuning()
+	for i, t := range rep.PerTenant {
+		tt := &res.tiers[sloTierOf(i)]
+		tt.issued += t.Issued
+		tt.ok += t.OK
+		tt.limited += t.Limited
+		tt.overloaded += t.Overloaded
+		tt.failed += t.Failed
+		tt.met += t.Met
+	}
+	for i := 0; i < spec.tenants; i++ {
+		q := spec.total / spec.tenants
+		if i < spec.total%spec.tenants {
+			q++
+		}
+		res.tiers[sloTierOf(i)].quota += int64(q)
+	}
+	res.digest = spec.sc.Timeline() + rep.Digest() +
+		"slo " + res.state.String() + fmt.Sprintf(" skipped=%d\n", res.skipped)
+	return res, nil
+}
+
+// compliance is the tier's met fraction of its logical quota, percent.
+func (t sloTierTotals) compliance() float64 {
+	if t.quota == 0 {
+		return 0
+	}
+	return 100 * float64(t.met) / float64(t.quota)
+}
+
+// defaultSLOGatewaySpec sizes the gateway run from the config. The
+// scenario horizon sits inside the expected load span so every event
+// lands while the loop is hot.
+func defaultSLOGatewaySpec(c Config) (sloGatewaySpec, error) {
+	cfg := layout.Config{Ds: 2, Dr: 2, Dm: 2}
+	tenants := 24
+	total := c.IometerIOs * 8
+	perTenant := total / tenants
+	span := des.Time(perTenant) * 12 * des.Millisecond
+	sc, err := chaos.Generate(c.Seed, chaos.Options{
+		Bricks: 1, DrivesPerBrick: cfg.Disks(),
+		Start: span / 12, Horizon: span / 2,
+		DriveFails: 1, SlowDrives: 1, BrickCrashes: 1, ScrubPasses: 1,
+		SlowFactor: 8, OutageFrac: 1.0 / 20, ScrubMBps: 128,
+	})
+	if err != nil {
+		return sloGatewaySpec{}, err
+	}
+	var targets, met [slo.NumTiers]des.Time
+	targets[slo.Premium] = 15 * des.Millisecond
+	targets[slo.Standard] = 40 * des.Millisecond
+	met[slo.Premium] = 15 * des.Millisecond
+	met[slo.Standard] = 40 * des.Millisecond
+	met[slo.BestEffort] = 100 * des.Millisecond
+	return sloGatewaySpec{
+		cfg: cfg, spares: 1, depth: 24,
+		tenants: tenants, total: total, seed: c.Seed,
+		think: 4 * des.Millisecond,
+		rate:  400, burst: 8, retries: 2,
+		window:      span / 24,
+		burstPeriod: span / 5, burstFactor: 2.5,
+		sc: sc,
+		ctl: slo.Options{
+			Window:         span / 32,
+			Targets:        targets,
+			ViolateWindows: 2, RecoverWindows: 3, MinSamples: 4,
+			Classify: sloClassifyTenant,
+			Actuators: slo.Actuators{
+				BackgroundMBps: 1,
+				HedgeAfter:     3 * des.Millisecond,
+				ThrottleScale:  0.4,
+				DepthFactor:    0.5,
+			},
+		},
+		met: met,
+	}, nil
+}
+
+// sloClusterSpec sizes one cluster run.
+type sloClusterSpec struct {
+	bricks      int
+	cfg         layout.Config
+	ios         int
+	outstanding int
+	sectors     int
+	readFrac    float64
+	seed        int64
+	workers     int
+	on          bool
+	sc          chaos.Scenario
+	window      des.Time // compliance/p99 window
+	ctl         slo.Options
+	tierSLO     [slo.NumTiers]des.Time
+}
+
+// sloClusterTier is one tier's client-side tallies.
+type sloClusterTier struct {
+	issued, ok, failed, sloOK, shed, rejected int64
+}
+
+// sloCluster is the client plus bricks of one run. Client state lives on
+// shard 0; each brick's array AND its controller are touched only by
+// that brick's shard — Admit runs in the submit event, Observe in the
+// completion callback, so the control loop rides the epoch protocol's
+// isolation for free.
+type sloCluster struct {
+	spec sloClusterSpec
+	sims []*des.Sim // sims[0] = client, sims[1+b] = brick b
+	arr  []*core.Array
+	ctl  []*slo.Controller // nil entries when the controller is off
+	send func(from, to int, at des.Time, fn func())
+
+	rng      *rand.Rand
+	vol      int64
+	issued   int
+	finished int
+	shrink   int
+	latNs    int64
+	last     des.Time
+	perBrick []int
+	tiers    [slo.NumTiers]sloClusterTier
+	wins     [][]int64
+	skipped  []int
+}
+
+func buildSLOCluster(spec sloClusterSpec, sims []*des.Sim, send func(int, int, des.Time, func())) (*sloCluster, error) {
+	c := &sloCluster{
+		spec: spec, sims: sims, send: send,
+		rng:      rand.New(rand.NewSource(spec.seed)),
+		arr:      make([]*core.Array, spec.bricks),
+		ctl:      make([]*slo.Controller, spec.bricks),
+		perBrick: make([]int, spec.bricks),
+		skipped:  make([]int, spec.bricks),
+	}
+	for b := range c.arr {
+		a, err := core.New(sims[1+b], core.Options{
+			Config: spec.cfg, Policy: policyFor(spec.cfg), Seed: spec.seed + int64(b),
+			MaxQueueDepth: 16,
+			Crash:         core.CrashModel{Enabled: true, Durability: core.Volatile},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.arr[b] = a
+		if spec.on {
+			ctl, err := slo.New(a, spec.ctl)
+			if err != nil {
+				return nil, err
+			}
+			c.ctl[b] = ctl
+		}
+		b := b
+		chaos.Arm(sims[1+b], spec.sc, b, func(e chaos.Event) { c.applyBrick(b, e) })
+	}
+	chaos.Arm(sims[0], spec.sc, chaos.ClientBrick, c.applyClient)
+	c.vol = c.arr[0].DataSectors() - int64(spec.sectors)
+	sims[0].At(0, c.prime)
+	return c, nil
+}
+
+// applyBrick lands one scenario event on brick b (same tolerance rules
+// as the chaos experiment: state-rejected drive/scrub events are counted
+// and dropped, crash/recover must apply).
+func (c *sloCluster) applyBrick(b int, e chaos.Event) {
+	a := c.arr[b]
+	switch e.Kind {
+	case chaos.DriveFail:
+		if a.Crashed() || a.FailDrive(e.Drive) != nil {
+			c.skipped[b]++
+		}
+	case chaos.SlowDrive:
+		if a.SetDriveSlow(e.Drive, disk.SlowProfile{Factor: e.Factor}) != nil {
+			c.skipped[b]++
+		}
+	case chaos.ScrubPass:
+		if a.Crashed() || a.StartScrub(core.ScrubOptions{MBps: e.Factor, Passes: 1}) != nil {
+			c.skipped[b]++
+		}
+	case chaos.BrickCrash:
+		if err := a.Crash(); err != nil {
+			panic(fmt.Sprintf("slo-chaos: brick %d crash: %v", b, err))
+		}
+	case chaos.BrickRecover:
+		if err := a.Recover(); err != nil {
+			panic(fmt.Sprintf("slo-chaos: brick %d recover: %v", b, err))
+		}
+	}
+}
+
+func (c *sloCluster) applyClient(e chaos.Event) {
+	if e.Kind != chaos.LoadBurst {
+		return
+	}
+	extra := int(e.Factor)
+	for i := 0; i < extra; i++ {
+		c.issue()
+	}
+	c.sims[0].At(e.At+e.Duration, func() { c.shrink += extra })
+}
+
+func (c *sloCluster) prime() {
+	window := c.spec.outstanding
+	if window > c.spec.ios {
+		window = c.spec.ios
+	}
+	for i := 0; i < window; i++ {
+		c.issue()
+	}
+}
+
+// issue claims the next logical request; its tier is a pure function of
+// the issue order, so the tier mix is identical on and off.
+func (c *sloCluster) issue() {
+	if c.issued >= c.spec.ios {
+		return
+	}
+	tier := sloTierOf(c.issued)
+	c.issued++
+	c.tiers[tier].issued++
+	c.attempt(tier, c.sims[0].Now())
+}
+
+// attempt draws a fresh (brick, offset, op) and sends it over the link;
+// submitAt survives retries and shed bounces so measured latency
+// includes every stall the request actually suffered.
+func (c *sloCluster) attempt(tier slo.Tier, submitAt des.Time) {
+	b := c.rng.Intn(c.spec.bricks)
+	off := c.rng.Int63n(c.vol)
+	op := core.Read
+	if c.rng.Float64() >= c.spec.readFrac {
+		op = core.Write
+	}
+	c.send(0, 1+b, c.sims[0].Now()+bigLinkLat, func() { c.submit(b, tier, off, op, submitAt) })
+}
+
+func (c *sloCluster) submit(b int, tier slo.Tier, off int64, op core.Op, submitAt des.Time) {
+	a := c.arr[b]
+	sim := c.sims[1+b]
+	name := tier.String()
+	// The brick's controller sheds before the array sees the request; a
+	// shed bounces back to the client, which retries (fresh draw, maybe
+	// another brick) after the quoted hint.
+	if ra, ok := c.ctl[b].Admit(sim.Now(), name); !ok {
+		c.send(1+b, 0, sim.Now()+bigLinkLat, func() {
+			c.tiers[tier].shed++
+			c.sims[0].After(ra, func() { c.attempt(tier, submitAt) })
+		})
+		return
+	}
+	err := a.Submit(op, off, c.spec.sectors, false, func(r coreResult) {
+		c.ctl[b].Observe(sim.Now(), name, sim.Now()-submitAt, r.Failed)
+		failed := r.Failed
+		c.send(1+b, 0, sim.Now()+bigLinkLat, func() { c.complete(b, tier, submitAt, failed) })
+	})
+	if err != nil {
+		// Powered off: a synchronous rejection is SLO evidence (the same
+		// 5xx rule the gateway applies), then the client retries.
+		c.ctl[b].Observe(sim.Now(), name, 0, true)
+		c.send(1+b, 0, sim.Now()+bigLinkLat, func() {
+			c.tiers[tier].rejected++
+			c.sims[0].After(chaosRetry, func() { c.attempt(tier, submitAt) })
+		})
+	}
+}
+
+func (c *sloCluster) complete(b int, tier slo.Tier, submitAt des.Time, failed bool) {
+	now := c.sims[0].Now()
+	if now > c.last {
+		c.last = now
+	}
+	c.finished++
+	c.perBrick[b]++
+	tt := &c.tiers[tier]
+	if failed {
+		tt.failed++
+	} else {
+		tt.ok++
+		lat := now - submitAt
+		ns := int64(math.Round(float64(lat) * 1000))
+		c.latNs += ns
+		if lat <= c.spec.tierSLO[tier] {
+			tt.sloOK++
+		}
+		w := int(now / c.spec.window)
+		for len(c.wins) <= w {
+			c.wins = append(c.wins, nil)
+		}
+		c.wins[w] = append(c.wins[w], ns)
+	}
+	if c.shrink > 0 {
+		c.shrink--
+		return
+	}
+	c.issue()
+}
+
+// sloClusterRes summarizes one cluster run; digest equality across
+// worker counts is the determinism bar.
+type sloClusterRes struct {
+	digest string
+	p99    []int64
+	window des.Time
+	tiers  [slo.NumTiers]sloClusterTier
+	states []slo.State
+	events uint64
+}
+
+func (c *sloCluster) result(events uint64) *sloClusterRes {
+	r := &sloClusterRes{window: c.spec.window, tiers: c.tiers, events: events}
+	r.p99 = make([]int64, len(c.wins))
+	for i, w := range c.wins {
+		r.p99[i] = p99ns(w)
+	}
+	var b strings.Builder
+	b.WriteString(c.spec.sc.Timeline())
+	fmt.Fprintf(&b, "issued=%d finished=%d latNs=%d last=%.6f perBrick=%v p99=%v events=%d\n",
+		c.issued, c.finished, c.latNs, float64(c.last), c.perBrick, r.p99, events)
+	for t := slo.Premium; t < slo.NumTiers; t++ {
+		tt := c.tiers[t]
+		fmt.Fprintf(&b, "%s issued=%d ok=%d failed=%d sloOK=%d shed=%d rejected=%d\n",
+			t, tt.issued, tt.ok, tt.failed, tt.sloOK, tt.shed, tt.rejected)
+	}
+	for i, a := range c.arr {
+		rc := a.Recovery()
+		fmt.Fprintf(&b, "b%d cr=%d rec=%d ad=%d lost=%d div=%d rep=%d skip=%d",
+			i, rc.Crashes, rc.Recoveries, rc.Adopted, rc.LostDelayed,
+			rc.DivergentFound, rc.Repaired, c.skipped[i])
+		st := c.ctl[i].State()
+		r.states = append(r.states, st)
+		if c.spec.on {
+			fmt.Fprintf(&b, " ctl[%s]", st)
+		}
+		b.WriteByte('\n')
+	}
+	r.digest = b.String()
+	return r
+}
+
+// runSLOCluster executes one cluster run on the sharded epoch engine.
+func runSLOCluster(spec sloClusterSpec) (*sloClusterRes, error) {
+	sh := des.NewSharded(spec.bricks+1, bigLinkLat)
+	if spec.workers > 0 {
+		if err := sh.SetWorkers(spec.workers); err != nil {
+			return nil, err
+		}
+	}
+	sims := make([]*des.Sim, spec.bricks+1)
+	for i := range sims {
+		sims[i] = sh.Shard(i)
+	}
+	c, err := buildSLOCluster(spec, sims, sh.Send)
+	if err != nil {
+		return nil, err
+	}
+	sh.Run()
+	if c.finished != c.spec.ios {
+		return nil, fmt.Errorf("experiments: slo cluster drained at %d/%d completions", c.finished, c.spec.ios)
+	}
+	return c.result(sh.Processed()), nil
+}
+
+// defaultSLOClusterSpec sizes the cluster run: three 8-drive bricks, a
+// controller per brick, and the scenario horizon scaled to the workload.
+func defaultSLOClusterSpec(c Config, on bool) (sloClusterSpec, error) {
+	bricks := 3
+	cfg := layout.Config{Ds: 2, Dr: 2, Dm: 2}
+	ios := c.IometerIOs * 2
+	horizon := des.Time(ios) * 200 * des.Microsecond
+	sc, err := chaos.Generate(c.Seed, chaos.Options{
+		Bricks: bricks, DrivesPerBrick: cfg.Disks(),
+		Start: 5 * des.Millisecond, Horizon: horizon,
+		DriveFails: 1, SlowDrives: 2, BrickCrashes: 1, ScrubPasses: 2, LoadBursts: 1,
+		SlowFactor: 8, ScrubMBps: 128,
+	})
+	if err != nil {
+		return sloClusterSpec{}, err
+	}
+	var targets, tierSLO [slo.NumTiers]des.Time
+	targets[slo.Premium] = 15 * des.Millisecond
+	targets[slo.Standard] = 40 * des.Millisecond
+	tierSLO[slo.Premium] = 15 * des.Millisecond
+	tierSLO[slo.Standard] = 40 * des.Millisecond
+	tierSLO[slo.BestEffort] = 80 * des.Millisecond
+	classify := func(name string) slo.Tier {
+		t, err := slo.ParseTier(name)
+		if err != nil {
+			return slo.Standard
+		}
+		return t
+	}
+	return sloClusterSpec{
+		bricks: bricks, cfg: cfg,
+		ios: ios, outstanding: 32, sectors: 8, readFrac: 0.7,
+		seed: c.Seed, on: on, sc: sc,
+		window: horizon / 16,
+		ctl: slo.Options{
+			Window:         horizon / 16,
+			Targets:        targets,
+			ViolateWindows: 1, RecoverWindows: 2, MinSamples: 3,
+			ShedRetryAfter: 2 * des.Millisecond,
+			Classify:       classify,
+			Actuators: slo.Actuators{
+				BackgroundMBps: 1,
+				HedgeAfter:     3 * des.Millisecond,
+				DepthFactor:    0.5,
+			},
+		},
+		tierSLO: tierSLO,
+	}, nil
+}
+
+// SLOChaos is the registry experiment.
+func SLOChaos(c Config) (*Figure, error) {
+	spec, err := defaultSLOGatewaySpec(c)
+	if err != nil {
+		return nil, err
+	}
+	gwOff, err := runSLOGateway(spec, false)
+	if err != nil {
+		return nil, err
+	}
+	gwOn, err := runSLOGateway(spec, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Determinism double-check at reduced scale, controller on — the new
+	// code paths (shed completions, SLO state in the digest) must be
+	// byte-identical across identical runs.
+	dspec := spec
+	dspec.total = spec.total / 4
+	if dspec.total < 24*8 {
+		dspec.total = 24 * 8
+	}
+	d1, err := runSLOGateway(dspec, true)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := runSLOGateway(dspec, true)
+	if err != nil {
+		return nil, err
+	}
+	if d1.digest != d2.digest {
+		return nil, fmt.Errorf("experiments: slo gateway run is nondeterministic: digests differ across identical runs")
+	}
+
+	// Cluster stage: off and on, each at worker counts 1, 2, 4 with
+	// byte-identical digests required.
+	var clOff, clOn *sloClusterRes
+	for _, on := range []bool{false, true} {
+		cspec, err := defaultSLOClusterSpec(c, on)
+		if err != nil {
+			return nil, err
+		}
+		var first *sloClusterRes
+		for _, w := range []int{1, 2, 4} {
+			s := cspec
+			s.workers = w
+			r, err := runSLOCluster(s)
+			if err != nil {
+				return nil, err
+			}
+			if first == nil {
+				first = r
+			} else if r.digest != first.digest {
+				return nil, fmt.Errorf("experiments: worker count changed the slo cluster run (on=%v):\n%q\nvs\n%q",
+					on, r.digest, first.digest)
+			}
+		}
+		if on {
+			clOn = first
+		} else {
+			clOff = first
+		}
+	}
+
+	fig := &Figure{
+		Name:   "slo-chaos",
+		Title:  "Per-tenant SLO control plane under chaos (controller off vs on)",
+		XLabel: "window end (ms of simulated time)",
+		YLabel: "p99 response time (ms)",
+	}
+	var sOff, sOn Series
+	sOff.Label = "p99/controller-off"
+	sOn.Label = "p99/controller-on"
+	for i, ns := range clOff.p99 {
+		sOff.Add(float64(clOff.window)*float64(i+1)/1000, float64(ns)/1e6)
+	}
+	for i, ns := range clOn.p99 {
+		sOn.Add(float64(clOn.window)*float64(i+1)/1000, float64(ns)/1e6)
+	}
+	fig.Series = append(fig.Series, sOff, sOn)
+
+	for t := slo.Premium; t < slo.NumTiers; t++ {
+		name := t.String()
+		offT, onT := gwOff.tiers[t], gwOn.tiers[t]
+		fig.Metric("gateway/"+name+"/compliance_off", offT.compliance())
+		fig.Metric("gateway/"+name+"/compliance_on", onT.compliance())
+		fig.Metric("gateway/"+name+"/met_off", float64(offT.met))
+		fig.Metric("gateway/"+name+"/met_on", float64(onT.met))
+		fig.Metric("gateway/"+name+"/failed_off", float64(offT.failed))
+		fig.Metric("gateway/"+name+"/failed_on", float64(onT.failed))
+		fig.Metric("gateway/"+name+"/sheds_on", float64(gwOn.state.Tiers[t].Sheds))
+		co, cn := clOff.tiers[t], clOn.tiers[t]
+		if co.ok > 0 {
+			fig.Metric("cluster/"+name+"/slo_pct_off", 100*float64(co.sloOK)/float64(co.issued))
+		}
+		if cn.ok > 0 {
+			fig.Metric("cluster/"+name+"/slo_pct_on", 100*float64(cn.sloOK)/float64(cn.issued))
+		}
+		fig.Metric("cluster/"+name+"/shed_on", float64(cn.shed))
+		fig.Metric("cluster/"+name+"/shed_off", float64(co.shed))
+	}
+	fig.Metric("gateway/premium/compliance_gain",
+		gwOn.tiers[slo.Premium].compliance()-gwOff.tiers[slo.Premium].compliance())
+	fig.Metric("gateway/escalations_on", float64(gwOn.state.Escalations))
+	fig.Metric("gateway/deescalations_on", float64(gwOn.state.Deescalations))
+	fig.Metric("gateway/shed_429_on", float64(gwOn.stats.Shed))
+	fig.Metric("gateway/shed_429_off", float64(gwOff.stats.Shed))
+	fig.Metric("gateway/level_index_end_on", float64(gwOn.state.LevelIndex))
+	fig.Metric("cluster/events_on", float64(clOn.events))
+	var escal float64
+	for _, st := range clOn.states {
+		escal += float64(st.Escalations)
+	}
+	fig.Metric("cluster/escalations_on", escal)
+	fig.Metric("determinism/gateway_requests", float64(d1.rep.Issued))
+	fig.Metric("determinism/ok", 1)
+	return fig, nil
+}

@@ -128,6 +128,35 @@ func (h *Hist) MeanUS() float64 {
 	return float64(h.SumUS) / float64(h.Count)
 }
 
+// QuantileUS is a conservative estimate of the q-quantile in microseconds:
+// the upper bound of the log2 bucket holding the nearest-rank sample (so
+// the true quantile is never under-reported). 0 when empty.
+func (h *Hist) QuantileUS(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b, n := range h.Buckets {
+		seen += n
+		if seen >= rank {
+			if b == 0 {
+				return 0
+			}
+			return (int64(1) << uint(b)) - 1
+		}
+	}
+	return (int64(1) << uint(NumBuckets-1)) - 1
+}
+
 func (h *Hist) merge(o *Hist) {
 	h.Count += o.Count
 	h.SumUS += o.SumUS

@@ -194,3 +194,31 @@ func TestFaultedRunFeedsNoHistogram(t *testing.T) {
 		t.Fatalf("counters = %d/%d/%d", d.Dispatches, d.Faulted, d.Failovers)
 	}
 }
+
+func TestHistQuantileUS(t *testing.T) {
+	var h Hist
+	if got := h.QuantileUS(0.99); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	// 99 fast samples and one slow one: p50 stays in the fast bucket,
+	// p99+ reaches the slow one, and the estimate never under-reports.
+	for i := 0; i < 99; i++ {
+		h.Observe(100) // bucket 7: [64,127]
+	}
+	h.Observe(100000) // bucket 17
+	if got := h.QuantileUS(0.5); got != 127 {
+		t.Fatalf("p50 = %d, want 127 (bucket upper bound)", got)
+	}
+	if got := h.QuantileUS(1.0); got != (1<<17)-1 {
+		t.Fatalf("p100 = %d, want %d", got, (1<<17)-1)
+	}
+	if got := h.QuantileUS(0.99); got != 127 {
+		t.Fatalf("p99 = %d, want 127 (rank 99 of 100)", got)
+	}
+	// All-zero samples sit in bucket 0.
+	var z Hist
+	z.Observe(0)
+	if got := z.QuantileUS(0.99); got != 0 {
+		t.Fatalf("zero-only p99 = %d", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/slo"
 )
 
 // Config configures a Gateway.
@@ -20,6 +21,13 @@ type Config struct {
 	Deterministic bool
 	// Limits is the per-tenant rate-limit policy.
 	Limits Limits
+	// SLO optionally attaches the per-tenant SLO control plane. The
+	// controller must wrap the same volume and is stepped exclusively on
+	// the run loop: admissions consult its brownout ladder, token buckets
+	// refill at its per-tier scale, completions feed its windows. Nil (the
+	// default) leaves the gateway byte-identical to a controller-free
+	// build.
+	SLO *slo.Controller
 }
 
 type callKind uint8
@@ -41,8 +49,10 @@ type call struct {
 	// deterministic barrier accounts for.
 	counted bool
 	// overload marks a 429 caused by array admission control rather
-	// than the token bucket.
+	// than the token bucket; shed marks one caused by the SLO brownout
+	// ladder.
 	overload bool
+	shed     bool
 	resp     Response
 	done     chan struct{}
 }
@@ -201,6 +211,8 @@ func (g *Gateway) complete(c *call, resp Response) {
 		switch {
 		case resp.Status == StatusOK:
 			g.stats.OK++
+		case resp.Status == StatusTooMany && c.shed:
+			g.stats.Shed++
 		case resp.Status == StatusTooMany && c.overload:
 			g.stats.Overloaded++
 		case resp.Status == StatusTooMany:
@@ -287,6 +299,17 @@ func (g *Gateway) admit(batch []*call) {
 			}
 			g.complete(c, resp)
 		default:
+			// The brownout ladder sheds whole tiers before the token
+			// bucket is even consulted — a shed tenant must not drain its
+			// bucket.
+			if ra, ok := g.cfg.SLO.Admit(now, c.req.Tenant); !ok {
+				c.shed = true
+				g.complete(c, Response{
+					Status: StatusTooMany, Err: "shed: service brownout",
+					Submit: now, Done: now, RetryAfter: ra,
+				})
+				continue
+			}
 			if ra, ok := g.allow(c.req.Tenant, now); !ok {
 				g.complete(c, Response{
 					Status: StatusTooMany, Err: "rate limited",
@@ -304,6 +327,7 @@ func (g *Gateway) admit(batch []*call) {
 	for i, c := range ios {
 		c := c
 		ops[i] = core.BatchOp{Op: c.req.Op, Off: c.req.Off, Count: c.req.Count, Done: func(r core.Result) {
+			g.cfg.SLO.Observe(r.Done, c.req.Tenant, r.Done-r.Submit, r.Failed)
 			status, errText := StatusOK, ""
 			if r.Failed {
 				status = statusOf(r.Err)
@@ -331,6 +355,11 @@ func (g *Gateway) admit(batch []*call) {
 		if errors.Is(e, core.ErrOverload) {
 			c.overload = true
 			resp.RetryAfter = g.cfg.Limits.overloadRetryAfter()
+		}
+		if resp.Status == StatusUnavailable || resp.Status == StatusFailed {
+			// 5xx-class synchronous rejections (a crashed array) are SLO
+			// failures; 4xx-class backpressure and caller errors are not.
+			g.cfg.SLO.Observe(now, c.req.Tenant, 0, true)
 		}
 		g.complete(c, resp)
 	}

@@ -80,16 +80,27 @@ type LoadConfig struct {
 	// of it. Zero means no think time — a pure closed loop.
 	ThinkMean des.Time
 	// MaxRetries bounds how many times one logical operation retries
-	// after a 429 (sleeping out the Retry-After in virtual time).
+	// after a 429 (sleeping out a jittered multiple of the Retry-After in
+	// virtual time).
 	MaxRetries int
 	// Window groups completions into virtual-time windows for the
 	// p99/429-rate series; default 100ms.
 	Window des.Time
+	// SLOTarget optionally maps a tenant index to its per-request latency
+	// target; successful responses at or under it count toward the
+	// tenant's Met tally. Nil disables the tally.
+	SLOTarget func(tenant int) des.Time
+	// BurstPeriod/BurstFactor overlay square-wave burstiness on the think
+	// time: during the first half of each virtual period every tenant
+	// thinks BurstFactor× faster. Zero period (or factor <= 1) disables.
+	BurstPeriod des.Time
+	BurstFactor float64
 }
 
-// TenantTotals is one tenant's outcome tallies.
+// TenantTotals is one tenant's outcome tallies. Met counts OK responses
+// within the tenant's SLOTarget (0 when no target is configured).
 type TenantTotals struct {
-	Issued, OK, Limited, Overloaded, Failed int64
+	Issued, OK, Limited, Overloaded, Failed, Met int64
 }
 
 // Window is one virtual-time bucket of the load: counts by outcome and
@@ -125,7 +136,7 @@ func (r *LoadReport) Digest() string {
 			w.Index, w.Count, w.OK, w.Limited, w.Overloaded, w.Failed, float64(w.P99))
 	}
 	for i, t := range r.PerTenant {
-		fmt.Fprintf(&b, "t%d %d/%d/%d/%d/%d\n", i, t.Issued, t.OK, t.Limited, t.Overloaded, t.Failed)
+		fmt.Fprintf(&b, "t%d %d/%d/%d/%d/%d met=%d\n", i, t.Issued, t.OK, t.Limited, t.Overloaded, t.Failed, t.Met)
 	}
 	return b.String()
 }
@@ -145,6 +156,7 @@ type winAgg struct {
 type tenantRun struct {
 	totals  TenantTotals
 	wins    map[int64]*winAgg
+	target  des.Time // per-request SLO target; 0 = untracked
 	retries int64
 	aborted bool
 }
@@ -162,6 +174,9 @@ func (tr *tenantRun) record(resp apiResponse, window des.Time) {
 	case resp.Status == StatusOK:
 		tr.totals.OK++
 		wa.ok++
+		if tr.target > 0 && des.Time(resp.LatencyUs) <= tr.target {
+			tr.totals.Met++
+		}
 		wa.lats = append(wa.lats, resp.LatencyUs)
 	case resp.Status == StatusTooMany && strings.Contains(resp.Error, "overload"):
 		tr.totals.Overloaded++
@@ -215,6 +230,9 @@ func (h *Harness) RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			defer h.GW.Unregister(name)
 			tr := &runs[i]
 			tr.wins = make(map[int64]*winAgg)
+			if cfg.SLOTarget != nil {
+				tr.target = cfg.SLOTarget(i)
+			}
 			rng := rand.New(rand.NewSource(cfg.Seed<<20 ^ int64(i)))
 			readFrac := 0.5 + 0.4*float64(i%7)/6
 			count := 8 << (i % 3)
@@ -223,6 +241,7 @@ func (h *Harness) RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				think /= 8 // hot tenant: drives its bucket into rejection
 			}
 			var seq uint64
+			var lastDone des.Time
 			for n := 0; n < quota[i]; n++ {
 				op := "read"
 				if rng.Float64() >= readFrac {
@@ -237,17 +256,22 @@ func (h *Harness) RunLoad(cfg LoadConfig) (*LoadReport, error) {
 						return
 					}
 					tr.record(resp, window)
+					lastDone = des.Time(resp.DoneUs)
 					if resp.Status == StatusTooMany && attempt < cfg.MaxRetries {
 						tr.retries++
 						seq++
-						h.GW.Sleep(name, seq, des.Time(resp.RetryAfterUs))
+						h.GW.Sleep(name, seq, retryBackoff(rng, des.Time(resp.RetryAfterUs)))
 						continue
 					}
 					break
 				}
 				if think > 0 {
+					tk := think
+					if burstActive(cfg, lastDone) {
+						tk = des.Time(float64(tk) / cfg.BurstFactor)
+					}
 					seq++
-					h.GW.Sleep(name, seq, des.Time(rng.ExpFloat64()*float64(think)))
+					h.GW.Sleep(name, seq, des.Time(rng.ExpFloat64()*float64(tk)))
 				}
 			}
 		}()
@@ -302,6 +326,28 @@ func (h *Harness) RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.Windows = append(rep.Windows, w)
 	}
 	return rep, nil
+}
+
+// retryBackoff spreads a shared Retry-After hint. Clients honoring an
+// identical hint verbatim wake at the same virtual instant and re-stampede
+// the bucket in lockstep; each retry instead sleeps hint × [1.0, 1.5),
+// drawn from the tenant's seeded RNG — deterministic across runs, but
+// de-synchronized across tenants.
+func retryBackoff(rng *rand.Rand, hint des.Time) des.Time {
+	if hint <= 0 {
+		return 0
+	}
+	return hint + des.Time(rng.Float64()*0.5*float64(hint))
+}
+
+// burstActive reports whether the square-wave burst overlay is in its hot
+// half-period at virtual instant now.
+func burstActive(cfg LoadConfig, now des.Time) bool {
+	if cfg.BurstPeriod <= 0 || cfg.BurstFactor <= 1 {
+		return false
+	}
+	phase := now - des.Time(int64(now/cfg.BurstPeriod))*cfg.BurstPeriod
+	return phase < cfg.BurstPeriod/2
 }
 
 func (h *Harness) doOp(op, tenant string, seq uint64, off int64, count int) (apiResponse, error) {

@@ -56,6 +56,10 @@ func (g *Gateway) allow(tenant string, now des.Time) (retryAfter des.Time, ok bo
 	if tl.Rate <= 0 {
 		return 0, true
 	}
+	// During brownout the SLO controller slows the refill of throttled
+	// tiers; the scale is 1 at Normal (and from a nil controller), so the
+	// default path is arithmetic-identical to an unscaled bucket.
+	rate := tl.Rate * g.cfg.SLO.RateScale(tenant)
 	burst := tl.Burst
 	if burst < 1 {
 		burst = 1
@@ -65,7 +69,7 @@ func (g *Gateway) allow(tenant string, now des.Time) (retryAfter des.Time, ok bo
 		b = &bucket{tokens: burst, last: now}
 		g.buckets[tenant] = b
 	}
-	b.tokens += tl.Rate * float64(now-b.last) / float64(des.Second)
+	b.tokens += rate * float64(now-b.last) / float64(des.Second)
 	if b.tokens > burst {
 		b.tokens = burst
 	}
@@ -74,5 +78,5 @@ func (g *Gateway) allow(tenant string, now des.Time) (retryAfter des.Time, ok bo
 		b.tokens--
 		return 0, true
 	}
-	return des.Time((1 - b.tokens) / tl.Rate * float64(des.Second)), false
+	return des.Time((1 - b.tokens) / rate * float64(des.Second)), false
 }

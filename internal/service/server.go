@@ -2,12 +2,13 @@ package service
 
 import (
 	"encoding/json"
-	"math"
+	"fmt"
 	"net/http"
 	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/slo"
 )
 
 // Volume returns the wrapped volume. Touch it only through Admin while
@@ -35,6 +36,9 @@ type statsPayload struct {
 	Recovery core.RecoveryCounters `json:"recovery"`
 	Crashed  bool                  `json:"crashed"`
 	NowUs    float64               `json:"now_us"`
+	// SLO is the control plane's snapshot (zero-valued "normal" when no
+	// controller is attached).
+	SLO slo.State `json:"slo"`
 }
 
 // Server is the HTTP block front-end over a Gateway:
@@ -48,8 +52,9 @@ type statsPayload struct {
 //
 // Tenants identify with the X-Tenant header (default "anon") and order
 // their own requests with X-Seq. Rejections come back as HTTP 429 with
-// Retry-After (whole virtual seconds, rounded up) and X-Retry-After-Us
-// (exact virtual microseconds); a crashed array answers 503.
+// Retry-After (whole virtual seconds, floored — sub-second hints read 0)
+// and X-Retry-After-Us (exact virtual microseconds); a crashed array
+// answers 503.
 type Server struct {
 	gw  *Gateway
 	mux *http.ServeMux
@@ -67,10 +72,7 @@ func NewServer(gw *Gateway) *Server {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/admin/crash", s.handleAdmin(func(v core.Volume) error { return v.Crash() }))
 	s.mux.HandleFunc("/v1/admin/recover", s.handleAdmin(func(v core.Volume) error { return v.Recover() }))
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok\n"))
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
 }
 
@@ -111,6 +113,33 @@ func (s *Server) handleIO(w http.ResponseWriter, r *http.Request, op core.Op, me
 	writeResponse(w, resp)
 }
 
+// handleHealth reports liveness honestly: 503 when the array is crashed
+// (or the gateway is closed), 200 with an explicit "degraded" body while
+// the SLO controller is in brownout, plain "ok" otherwise.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	var (
+		crashed bool
+		level   slo.Level
+	)
+	admin := s.gw.Admin(func() error {
+		crashed = s.gw.Volume().Crashed()
+		level = s.gw.cfg.SLO.Level()
+		return nil
+	})
+	switch {
+	case admin.Status != StatusOK:
+		http.Error(w, "unavailable: "+admin.Err, http.StatusServiceUnavailable)
+	case crashed:
+		http.Error(w, "crashed", http.StatusServiceUnavailable)
+	case level > slo.Normal:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "degraded: %s\n", level)
+	default:
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var p statsPayload
 	admin := s.gw.Admin(func() error {
@@ -122,6 +151,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Recovery: v.Recovery(),
 			Crashed:  v.Crashed(),
 			NowUs:    float64(v.Sim().Now()),
+			SLO:      s.gw.cfg.SLO.State(),
 		}
 		return nil
 	})
@@ -146,10 +176,11 @@ func (s *Server) handleAdmin(fn func(core.Volume) error) http.HandlerFunc {
 
 func writeResponse(w http.ResponseWriter, resp Response) {
 	if resp.RetryAfter > 0 {
-		secs := int64(math.Ceil(float64(resp.RetryAfter) / float64(des.Second)))
-		if secs < 1 {
-			secs = 1
-		}
+		// Retry-After is whole seconds on the wire, so floor the virtual
+		// hint: a microsecond-scale hint must read as 0 ("retry now",
+		// legal per RFC 9110), not round up to a full second of
+		// over-backoff. X-Retry-After-Us always carries the exact hint.
+		secs := int64(resp.RetryAfter / des.Second)
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 		w.Header().Set("X-Retry-After-Us", strconv.FormatFloat(float64(resp.RetryAfter), 'f', -1, 64))
 	}

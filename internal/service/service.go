@@ -76,6 +76,7 @@ type Stats struct {
 	Failed      int64
 	RateLimited int64 // 429: token bucket said no
 	Overloaded  int64 // 429: array admission control (ErrOverload)
+	Shed        int64 // 429: SLO brownout ladder shed the tenant's tier
 	Unavailable int64 // 503: array crashed
 	BadRequest  int64
 	Sleeps      int64

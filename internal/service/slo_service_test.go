@@ -1,0 +1,355 @@
+package service
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/slo"
+)
+
+// TestRetryBackoffJitterSpreads pins the 429 backoff fix: tenants that
+// all receive the same Retry-After hint must not wake at the same virtual
+// instant. Each seeded RNG draws a backoff in [hint, 1.5·hint) and the
+// population is spread, not clustered on the hint.
+func TestRetryBackoffJitterSpreads(t *testing.T) {
+	const hint = 10 * des.Millisecond
+	const tenants = 200
+	seen := make(map[des.Time]int, tenants)
+	for i := 0; i < tenants; i++ {
+		rng := rand.New(rand.NewSource(1<<20 ^ int64(i))) // loadgen's seeding shape
+		b := retryBackoff(rng, hint)
+		if b < hint || b >= hint+hint/2 {
+			t.Fatalf("tenant %d: backoff %v outside [%v, %v)", i, b, hint, hint+hint/2)
+		}
+		seen[b]++
+	}
+	if len(seen) < tenants*9/10 {
+		t.Fatalf("retry wave not spread: only %d distinct wake times across %d tenants", len(seen), tenants)
+	}
+	// Determinism: the same RNG state draws the same backoff.
+	a := retryBackoff(rand.New(rand.NewSource(42)), hint)
+	b := retryBackoff(rand.New(rand.NewSource(42)), hint)
+	if a != b {
+		t.Fatalf("jitter not deterministic: %v vs %v", a, b)
+	}
+	if got := retryBackoff(rand.New(rand.NewSource(1)), 0); got != 0 {
+		t.Fatalf("zero hint jittered to %v", got)
+	}
+}
+
+// TestRetryAfterHeaderConsistency pins the second-rounding fix: the
+// whole-second Retry-After must be the floor of the exact X-Retry-After-Us
+// hint — a microsecond-scale hint reads 0, not a full second of
+// over-backoff.
+func TestRetryAfterHeaderConsistency(t *testing.T) {
+	vol := testVolume(t, nil)
+	h := NewHarness(vol, Config{Limits: Limits{
+		PerTenant: map[string]TenantLimit{"slow": {Rate: 10, Burst: 1}},
+	}})
+	defer func() {
+		if err := h.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	var checked int
+	for i := 0; i < 6; i++ {
+		hr, body := h.get(t, http.MethodGet, "http://mem/v1/vol/read?off=0&count=8",
+			map[string]string{"X-Tenant": "slow"})
+		if hr.StatusCode != StatusTooMany {
+			continue
+		}
+		secs, err := strconv.ParseInt(hr.Header.Get("Retry-After"), 10, 64)
+		if err != nil {
+			t.Fatalf("bad Retry-After %q: %v", hr.Header.Get("Retry-After"), err)
+		}
+		us, err := strconv.ParseFloat(hr.Header.Get("X-Retry-After-Us"), 64)
+		if err != nil || us <= 0 {
+			t.Fatalf("bad X-Retry-After-Us %q: %v", hr.Header.Get("X-Retry-After-Us"), err)
+		}
+		if want := int64(us / 1e6); secs != want {
+			t.Fatalf("Retry-After %d inconsistent with exact hint %.0fus (want floor %d)", secs, us, want)
+		}
+		// At 10 req/s the refill wait is ~100ms: a spec-compliant client
+		// must read 0 whole seconds, not the old rounded-up 1.
+		if us < 1e6 && secs != 0 {
+			t.Fatalf("sub-second hint %.0fus rounded up to Retry-After %d", us, secs)
+		}
+		var resp apiResponse
+		if err := json.Unmarshal(body, &resp); err != nil || resp.RetryAfterUs != us {
+			t.Fatalf("body hint %v != header hint %v (err %v)", resp.RetryAfterUs, us, err)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no 429 observed; test exercised nothing")
+	}
+}
+
+// TestRealTimeConcurrentTenants exercises the non-deterministic gateway
+// mode under genuine goroutine concurrency: many tenants in flight at
+// once, every request completing with sane timestamps.
+func TestRealTimeConcurrentTenants(t *testing.T) {
+	vol := testVolume(t, nil)
+	h := NewHarness(vol, Config{})
+	defer func() {
+		if err := h.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	const tenants, per = 16, 8
+	var wg sync.WaitGroup
+	errs := make(chan string, tenants*per)
+	for i := 0; i < tenants; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := "rt" + strconv.Itoa(i)
+			for n := 0; n < per; n++ {
+				hr, body := h.get(t, http.MethodGet,
+					"http://mem/v1/vol/read?off="+strconv.Itoa(512*i)+"&count=8",
+					map[string]string{"X-Tenant": name, "X-Seq": strconv.Itoa(n)})
+				if hr.StatusCode != 200 {
+					errs <- hr.Status + " " + string(body)
+					return
+				}
+				var resp apiResponse
+				if err := json.Unmarshal(body, &resp); err != nil || resp.DoneUs < resp.SubmitUs {
+					errs <- "bad body " + string(body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("concurrent tenant failed: %s", e)
+	}
+	if st := h.GW.Stats(); st.OK != tenants*per {
+		t.Fatalf("stats.OK = %d, want %d", st.OK, tenants*per)
+	}
+}
+
+// TestRealTimeCrashMidFlight crashes the array while concurrent tenants
+// are mid-loop: requests racing the crash must resolve cleanly (200 before,
+// 503 after, never a hang), healthz must report the crash, and recovery
+// must restore service.
+func TestRealTimeCrashMidFlight(t *testing.T) {
+	vol := testVolume(t, func(o *core.Options) {
+		o.Crash = core.CrashModel{Enabled: true, Durability: core.BatteryBacked}
+	})
+	h := NewHarness(vol, Config{})
+	defer func() {
+		if err := h.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	const tenants = 8
+	var wg sync.WaitGroup
+	bad := make(chan string, tenants)
+	var unavailable int64
+	var mu sync.Mutex
+	for i := 0; i < tenants; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 40; n++ {
+				hr, body := h.get(t, http.MethodGet, "http://mem/v1/vol/read?off=0&count=8",
+					map[string]string{"X-Tenant": "c" + strconv.Itoa(i)})
+				switch hr.StatusCode {
+				case 200:
+				case StatusUnavailable:
+					mu.Lock()
+					unavailable++
+					mu.Unlock()
+					if !strings.Contains(string(body), "crash") {
+						bad <- "503 without crash cause: " + string(body)
+						return
+					}
+				default:
+					bad <- "status " + hr.Status + ": " + string(body)
+					return
+				}
+			}
+		}()
+	}
+	// Let traffic start, then pull the power mid-flight.
+	if hr, body := h.get(t, http.MethodPost, "http://mem/v1/admin/crash", nil); hr.StatusCode != 200 {
+		t.Fatalf("crash: %d %s", hr.StatusCode, body)
+	}
+	if hr, body := h.get(t, http.MethodGet, "http://mem/healthz", nil); hr.StatusCode != StatusUnavailable || !strings.Contains(string(body), "crashed") {
+		t.Fatalf("healthz while crashed: %d %q", hr.StatusCode, body)
+	}
+	wg.Wait()
+	close(bad)
+	for e := range bad {
+		t.Fatalf("mid-flight crash: %s", e)
+	}
+	if unavailable == 0 {
+		t.Fatal("no request observed the crash; test exercised nothing")
+	}
+	if hr, body := h.get(t, http.MethodPost, "http://mem/v1/admin/recover", nil); hr.StatusCode != 200 {
+		t.Fatalf("recover: %d %s", hr.StatusCode, body)
+	}
+	if hr, body := h.get(t, http.MethodGet, "http://mem/v1/vol/read?off=0&count=8", nil); hr.StatusCode != 200 {
+		t.Fatalf("read after recover: %d %s", hr.StatusCode, body)
+	}
+	if hr, body := h.get(t, http.MethodGet, "http://mem/healthz", nil); hr.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("healthz after recover: %d %q", hr.StatusCode, body)
+	}
+}
+
+// TestRealTimeGracefulDrain closes the gateway while tenants are still
+// issuing: every racing call resolves — completed in-flight work as 200,
+// never-admitted calls as a clean 503 — and the run loop exits nil.
+func TestRealTimeGracefulDrain(t *testing.T) {
+	vol := testVolume(t, nil)
+	h := NewHarness(vol, Config{})
+	const tenants, per = 8, 20
+	results := make(chan Response, tenants*per)
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < per; n++ {
+				results <- h.GW.Do(Request{
+					Tenant: "d" + strconv.Itoa(i), Seq: uint64(n),
+					Op: core.Read, Off: int64(512 * i), Count: 8,
+				})
+			}
+		}()
+	}
+	// Let the load get in flight, then race Close against it and join:
+	// every call must resolve (a hang here fails the test by timeout).
+	time.Sleep(20 * time.Millisecond)
+	if err := h.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	close(results)
+	var ok, closed int
+	for r := range results {
+		switch {
+		case r.Status == StatusOK:
+			ok++
+			if r.Done < r.Submit {
+				t.Fatalf("drained completion has bad timestamps: %+v", r)
+			}
+		case r.Status == StatusUnavailable && strings.Contains(r.Err, "closed"):
+			closed++
+		default:
+			t.Fatalf("drain left a call in state %+v", r)
+		}
+	}
+	if ok+closed != tenants*per {
+		t.Fatalf("resolved %d+%d of %d calls", ok, closed, tenants*per)
+	}
+	if ok == 0 {
+		t.Fatal("no call completed before Close; drain path exercised nothing")
+	}
+	// Completions the gateway admitted are all accounted; rejections that
+	// never reached the run loop are not, so only OK must reconcile.
+	if st := h.GW.Stats(); st.OK != int64(ok) {
+		t.Fatalf("stats %+v disagree with observed ok=%d", st, ok)
+	}
+}
+
+// TestSLOBrownoutE2E drives the full control loop over the wire: an
+// unreachable premium target forces sustained violation, the ladder walks
+// to best-effort shedding, /healthz and /v1/stats surface the brownout,
+// premium is never shed, and the array's background pacing is clamped.
+func TestSLOBrownoutE2E(t *testing.T) {
+	vol := testVolume(t, func(o *core.Options) { o.MaxQueueDepth = 8 })
+	base := vol.Tuning()
+	ctrl, err := slo.New(vol, slo.Options{
+		Window:         des.Millisecond,
+		Targets:        [slo.NumTiers]des.Time{slo.Premium: des.Microsecond},
+		ViolateWindows: 1,
+		MinSamples:     1,
+		Classify: func(tenant string) slo.Tier {
+			switch {
+			case strings.HasPrefix(tenant, "p"):
+				return slo.Premium
+			case strings.HasPrefix(tenant, "b"):
+				return slo.BestEffort
+			}
+			return slo.Standard
+		},
+	})
+	if err != nil {
+		t.Fatalf("slo.New: %v", err)
+	}
+	h := NewHarness(vol, Config{SLO: ctrl})
+	defer func() {
+		if err := h.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	// Every premium completion misses the 1µs target; with 1ms windows and
+	// single-window hysteresis the ladder reaches standard-shed fast.
+	for i := 0; i < 30; i++ {
+		if hr, body := h.get(t, http.MethodGet, "http://mem/v1/vol/read?off=0&count=8",
+			map[string]string{"X-Tenant": "prem", "X-Seq": strconv.Itoa(i)}); hr.StatusCode != 200 {
+			t.Fatalf("premium read %d: %d %s", i, hr.StatusCode, body)
+		}
+	}
+
+	// Brownout surfaced on both operator endpoints.
+	hr, body := h.get(t, http.MethodGet, "http://mem/healthz", nil)
+	if hr.StatusCode != 200 || !strings.Contains(string(body), "degraded") {
+		t.Fatalf("healthz during brownout: %d %q", hr.StatusCode, body)
+	}
+	hr, body = h.get(t, http.MethodGet, "http://mem/v1/stats", nil)
+	if hr.StatusCode != 200 {
+		t.Fatalf("stats: %d %s", hr.StatusCode, body)
+	}
+	var stats statsPayload
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if stats.SLO.LevelIndex < int(slo.ShedBestEffort) || stats.SLO.Escalations == 0 {
+		t.Fatalf("controller state not surfaced: %+v", stats.SLO)
+	}
+	if stats.SLO.Tiers[slo.Premium].Observed == 0 {
+		t.Fatalf("premium completions not observed: %+v", stats.SLO)
+	}
+
+	// Best-effort is shed with a Retry-After; premium still flows.
+	hr, body = h.get(t, http.MethodGet, "http://mem/v1/vol/read?off=0&count=8",
+		map[string]string{"X-Tenant": "be1"})
+	if hr.StatusCode != StatusTooMany || !strings.Contains(string(body), "brownout") {
+		t.Fatalf("best-effort during brownout: %d %s", hr.StatusCode, body)
+	}
+	if hr.Header.Get("X-Retry-After-Us") == "" {
+		t.Fatalf("shed 429 missing Retry-After headers: %v", hr.Header)
+	}
+	if hr, body := h.get(t, http.MethodGet, "http://mem/v1/vol/read?off=0&count=8",
+		map[string]string{"X-Tenant": "prem", "X-Seq": "99"}); hr.StatusCode != 200 {
+		t.Fatalf("premium during brownout: %d %s", hr.StatusCode, body)
+	}
+	if st := h.GW.Stats(); st.Shed == 0 {
+		t.Fatalf("gateway shed counter not incremented: %+v", st)
+	}
+
+	// The actuators really moved: background pacing clamped below base.
+	var tun core.Tuning
+	if resp := h.GW.Admin(func() error { tun = vol.Tuning(); return nil }); resp.Status != StatusOK {
+		t.Fatalf("Admin: %+v", resp)
+	}
+	if tun.ScrubMBps >= core.DefaultScrubMBps || tun.MaxQueueDepth >= base.MaxQueueDepth {
+		t.Fatalf("actuators untouched during brownout: %+v (base %+v)", tun, base)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/slo"
 )
 
 // Time is a simulated duration or timestamp in microseconds.
@@ -271,6 +272,65 @@ type RecoveryCounters = core.RecoveryCounters
 // (or went) powered off; recalled by Result.Err and Submit. Test with
 // errors.Is.
 var ErrCrashed = core.ErrCrashed
+
+// Tuning is the array's runtime actuator surface — hedge delay,
+// admission depth, and the pacing of rebuild, scrub, and recovery-scan
+// background work. Snapshot it with Array.Tuning, adjust it atomically
+// with Array.SetTuning; the SLO control plane drives the same surface.
+type Tuning = core.Tuning
+
+// SLOTier classifies a tenant's service priority for the SLO control
+// plane. Shedding strictly follows tier order: best-effort first, then
+// standard; premium is never shed.
+type SLOTier = slo.Tier
+
+// The service tiers, in shed-last-first order.
+const (
+	TierPremium    = slo.Premium
+	TierStandard   = slo.Standard
+	TierBestEffort = slo.BestEffort
+)
+
+// ParseSLOTier maps the canonical tier names ("premium", "standard",
+// "best-effort") back to tiers.
+var ParseSLOTier = slo.ParseTier
+
+// SLOLevel is the brownout ladder the controller walks under sustained
+// SLO violation; each level adds one degradation on top of the last.
+type SLOLevel = slo.Level
+
+// The brownout levels, in escalation order.
+const (
+	SLONormal            = slo.Normal
+	SLODegradeBackground = slo.DegradeBackground
+	SLOShedBestEffort    = slo.ShedBestEffort
+	SLOShedStandard      = slo.ShedStandard
+)
+
+// SLOOptions configures an SLOController: evaluation window, per-tier
+// p99 targets, hysteresis (violating windows to escalate, compliant
+// windows to step back), tenant classification, and actuator bounds.
+type SLOOptions = slo.Options
+
+// SLOActuators bounds what each brownout level may do to the system
+// (background pacing floor, hedge clamp, throttle scale, depth factor).
+type SLOActuators = slo.Actuators
+
+// SLOController closes the loop from observed windowed p99 latency back
+// onto the volume's Tuning actuators and the gateway's admission. It is
+// event-driven on the virtual clock and deterministic; a nil controller
+// is valid and inert, leaving every caller byte-identical.
+type SLOController = slo.Controller
+
+// SLOState is a deterministic snapshot of a controller (current level,
+// streaks, per-tier counters, transition log) as served by /v1/stats.
+type SLOState = slo.State
+
+// NewSLOController attaches a controller to vol; the volume's current
+// Tuning becomes the Normal baseline that recovery restores exactly.
+func NewSLOController(vol Volume, opts SLOOptions) (*SLOController, error) {
+	return slo.New(vol, opts)
+}
 
 // SetShardWorkers sets the process-wide worker count used by sharded
 // multi-brick simulations (des.Sharded engines); the CLIs' -shards flag

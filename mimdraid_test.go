@@ -207,6 +207,102 @@ func TestPublicAPIBatchErrsWithOverload(t *testing.T) {
 	}
 }
 
+// The per-tenant SLO control plane works end to end through the public
+// API: classify tiers, walk the brownout ladder on violating windows
+// (clamping the array's tuning on the way up), shed best-effort before
+// standard and premium never, then recover to Normal and restore the
+// attach-time tuning.
+func TestPublicAPISLOController(t *testing.T) {
+	sim := NewSim()
+	arr, err := New(sim, Options{
+		Config: SRArray(2, 2), Policy: "rsatf", DataSectors: 1 << 16, Seed: 1,
+		MaxQueueDepth: 8, Hedge: true, HedgeAfter: 10 * Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := arr.Tuning()
+	window := 10 * Millisecond
+	var targets [3]Time
+	targets[TierPremium] = 5 * Millisecond
+	ctl, err := NewSLOController(arr, SLOOptions{
+		Window: window, Targets: targets,
+		ViolateWindows: 1, RecoverWindows: 1, MinSamples: 1,
+		Actuators: SLOActuators{HedgeAfter: 2 * Millisecond},
+		Classify: func(tenant string) SLOTier {
+			tier, err := ParseSLOTier(tenant)
+			if err != nil {
+				return TierStandard
+			}
+			return tier
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ctl.Tier("best-effort"); got != TierBestEffort {
+		t.Fatalf("Tier(best-effort) = %v", got)
+	}
+	// Feed one premium completion per window, then step into the next
+	// window with an Admit probe (which records no latency) so the
+	// window closes and is judged — one level per violating window.
+	win := int64(0)
+	feed := func(lat Time) {
+		ctl.Observe(Time(win)*window+Millisecond, "premium", lat, false)
+		win++
+		ctl.Admit(Time(win)*window+Millisecond, "premium")
+	}
+	feed(50 * Millisecond)
+	if got := ctl.Level(); got != SLODegradeBackground {
+		t.Fatalf("after one violating window: level %v", got)
+	}
+	if got := arr.Tuning().HedgeAfter; got != 2*Millisecond {
+		t.Fatalf("brownout did not clamp HedgeAfter: %v", got)
+	}
+	feed(50 * Millisecond)
+	if got := ctl.Level(); got != SLOShedBestEffort {
+		t.Fatalf("after two violating windows: level %v", got)
+	}
+	now := Time(win)*window + Millisecond
+	if _, ok := ctl.Admit(now, "best-effort"); ok {
+		t.Error("best-effort admitted at best-effort-shed")
+	}
+	if ra, ok := ctl.Admit(now, "premium"); !ok || ra != 0 {
+		t.Errorf("premium shed (ra=%v ok=%v); premium must never be shed", ra, ok)
+	}
+	if got := ctl.RateScale("best-effort"); got >= 1 {
+		t.Errorf("best-effort RateScale %v during brownout", got)
+	}
+	if got := ctl.RateScale("premium"); got != 1 {
+		t.Errorf("premium RateScale %v", got)
+	}
+	// Compliant windows walk back down and restore the base tuning.
+	for i := 0; i < 2; i++ {
+		feed(1 * Millisecond)
+	}
+	if got := ctl.Level(); got != SLONormal {
+		t.Fatalf("after compliant windows: level %v", got)
+	}
+	if got := arr.Tuning(); got != base {
+		t.Fatalf("Normal did not restore tuning: %+v != %+v", got, base)
+	}
+	st := ctl.State()
+	if st.Escalations != 2 || st.Deescalations != 2 {
+		t.Fatalf("esc/deesc = %d/%d", st.Escalations, st.Deescalations)
+	}
+	if st.Tiers[TierBestEffort].Sheds == 0 || st.Tiers[TierPremium].Sheds != 0 {
+		t.Fatalf("shed counters %+v", st.Tiers)
+	}
+	// The nil controller is inert through the public surface too.
+	var off *SLOController
+	if _, ok := off.Admit(now, "best-effort"); !ok {
+		t.Error("nil controller shed a request")
+	}
+	if off.RateScale("best-effort") != 1 || off.Level() != SLONormal {
+		t.Error("nil controller is not neutral")
+	}
+}
+
 func TestRecommendMatchesPaperExamples(t *testing.T) {
 	spec := ST39133LWV()
 	// Cello base, 6 disks, background propagation, low load, L=4.14: the

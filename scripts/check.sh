@@ -21,9 +21,16 @@ go test -race -count=2 -run 'TestCrash|TestBatteryHorizon|TestScheduledCrash|Tes
 go test -race -count=2 -run 'TestChaos' ./internal/chaos ./internal/experiments
 # Service front-end: the gateway determinism digest under the race
 # detector, then the mimdserve smoke (two identical loads through the
-# full HTTP stack must produce byte-identical digests).
+# full HTTP stack must produce byte-identical digests) — once plain and
+# once with the SLO control plane attached.
 go test -race -count=2 -run 'TestDeterministicDigest|TestServerHTTP' ./internal/service
 go run ./cmd/mimdserve -smoke
+go run ./cmd/mimdserve -smoke -slo
+# SLO control plane: the controller's ladder/hysteresis unit tests and
+# the end-to-end brownout path through the gateway, twice under the
+# race detector.
+go test -race -count=2 ./internal/slo
+go test -race -count=2 -run 'TestSLOBrownoutE2E' ./internal/service
 # Fuzz smoke: short bounded runs of the NVRAM snapshot decoder and the
 # crash/recovery-scan fuzzers (the seed corpora alone regression-test
 # the known crashers).

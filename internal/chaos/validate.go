@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEventTarget marks a scenario event whose target does not exist in the
+// cluster it is being armed against. Arm schedules only the events matching
+// its brick argument, so a mistargeted event is otherwise a silent no-op:
+// the scenario's timeline fingerprint includes the event, the cluster never
+// sees it, and the drift surfaces (if ever) as an unexplainable digest
+// mismatch. Validate turns that into a typed error at build time.
+var ErrEventTarget = errors.New("chaos: event target out of range")
+
+// Validate checks every event's target against a cluster shape: bricks
+// arrays of drivesPerBrick drives each, plus the workload client. Generated
+// scenarios are in range by construction; hand-built or edited scenarios
+// should be validated before any Arm call.
+func (s Scenario) Validate(bricks, drivesPerBrick int) error {
+	for i, e := range s.Events {
+		if e.Kind == LoadBurst {
+			if e.Brick != ClientBrick {
+				return fmt.Errorf("%w: event %d (%s) is a load burst but targets brick %d, not the client (%d)",
+					ErrEventTarget, i, e, e.Brick, ClientBrick)
+			}
+			continue
+		}
+		if e.Brick == ClientBrick {
+			return fmt.Errorf("%w: event %d (%s) targets the client but only load bursts may",
+				ErrEventTarget, i, e)
+		}
+		if e.Brick < 0 || e.Brick >= bricks {
+			return fmt.Errorf("%w: event %d (%s) targets brick %d of a %d-brick cluster",
+				ErrEventTarget, i, e, e.Brick, bricks)
+		}
+		if e.Kind == DriveFail || e.Kind == SlowDrive {
+			if e.Drive < 0 || e.Drive >= drivesPerBrick {
+				return fmt.Errorf("%w: event %d (%s) targets drive %d of a %d-drive brick",
+					ErrEventTarget, i, e, e.Drive, drivesPerBrick)
+			}
+		}
+	}
+	return nil
+}

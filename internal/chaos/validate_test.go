@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// TestScenarioValidate: the regression for the silent-no-op arming bug. An
+// event targeting a brick that does not exist arms nothing anywhere (Arm
+// filters by brick), so Validate must reject it with the typed error.
+func TestScenarioValidate(t *testing.T) {
+	good, err := Generate(7, Options{
+		Bricks: 3, DrivesPerBrick: 4, Horizon: des.Second,
+		DriveFails: 2, SlowDrives: 1, BrickCrashes: 1, ScrubPasses: 1, LoadBursts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Validate(3, 4); err != nil {
+		t.Fatalf("generated scenario rejected: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		ev   Event
+	}{
+		{"brick beyond cluster", Event{Kind: BrickCrash, Brick: 3}},
+		{"negative brick", Event{Kind: DriveFail, Brick: -2, Drive: 0}},
+		{"client-targeted crash", Event{Kind: BrickCrash, Brick: ClientBrick}},
+		{"drive beyond brick", Event{Kind: DriveFail, Brick: 1, Drive: 4}},
+		{"negative drive", Event{Kind: SlowDrive, Brick: 1, Drive: -1, Factor: 4}},
+		{"load burst on a brick", Event{Kind: LoadBurst, Brick: 2, Factor: 8}},
+	}
+	for _, tc := range bad {
+		sc := Scenario{Seed: 1, Events: append(append([]Event{}, good.Events...), tc.ev)}
+		err := sc.Validate(3, 4)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrEventTarget) {
+			t.Errorf("%s: error %v is not ErrEventTarget", tc.name, err)
+		}
+	}
+
+	// The same events are fine in a cluster large enough to hold them.
+	sc := Scenario{Seed: 1, Events: []Event{{Kind: BrickCrash, Brick: 3}, {Kind: DriveFail, Brick: 1, Drive: 4}}}
+	if err := sc.Validate(4, 5); err != nil {
+		t.Fatalf("in-range scenario rejected: %v", err)
+	}
+}
+
+// TestArmMistargetedIsNoOp documents the behavior Validate guards against:
+// arming an out-of-range event schedules nothing on any brick.
+func TestArmMistargetedIsNoOp(t *testing.T) {
+	sc := Scenario{Seed: 1, Events: []Event{{At: des.Millisecond, Kind: BrickCrash, Brick: 7}}}
+	for b := 0; b < 3; b++ {
+		sim := des.New()
+		if n := Arm(sim, sc, b, func(Event) { t.Errorf("event applied on brick %d", b) }); n != 0 {
+			t.Errorf("brick %d armed %d events", b, n)
+		}
+		sim.Run()
+	}
+	if err := sc.Validate(3, 1); !errors.Is(err, ErrEventTarget) {
+		t.Fatalf("Validate let the no-op scenario through: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/layout"
+)
+
+// benchCluster builds a colocated 3-brick R=2 cluster for benchmarks.
+func benchCluster(tb testing.TB) (*des.Sim, *Cluster) {
+	tb.Helper()
+	sim := des.New()
+	bricks := make([]core.Volume, 3)
+	for i := range bricks {
+		a, err := core.New(sim, core.Options{
+			Config: layout.Config{Ds: 1, Dr: 1, Dm: 2}, Seed: int64(i + 1),
+			DataSectors: 1 << 13,
+			Crash:       core.CrashModel{Enabled: true, Durability: core.BatteryBacked},
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		bricks[i] = a
+	}
+	c, err := New(sim, bricks, Options{Replicas: 2, ExtentSectors: 512, Seed: 42})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sim, c
+}
+
+// runOne submits one synchronous read and drives it to completion.
+func runOne(tb testing.TB, sim *des.Sim, v core.Volume, off int64, done func(core.Result)) {
+	if err := v.Submit(core.Read, off, 8, false, done); err != nil {
+		tb.Fatalf("submit: %v", err)
+	}
+	sim.Run()
+}
+
+// TestRouterZeroAllocHealthyPath is the CI guard for the pooled hot path:
+// after warmup, a read through the cluster router must allocate no more
+// than the same read submitted straight to a brick — the router itself
+// adds zero allocations per op.
+func TestRouterZeroAllocHealthyPath(t *testing.T) {
+	sim, cl := benchCluster(t)
+	nop := func(core.Result) {}
+	for i := int64(0); i < 200; i++ { // warm pools, caches, and EWMAs
+		runOne(t, sim, cl, (i*37)%(cl.DataSectors()-8), nop)
+	}
+	direct := cl.Brick(0)
+	var off int64
+	clusterAllocs := testing.AllocsPerRun(100, func() {
+		runOne(t, sim, cl, off, nop)
+		off = (off + 37) % (cl.DataSectors() - 8)
+	})
+	off = 0
+	directAllocs := testing.AllocsPerRun(100, func() {
+		runOne(t, sim, direct, off, nop)
+		off = (off + 37) % (direct.DataSectors() - 8)
+	})
+	if clusterAllocs > directAllocs {
+		t.Fatalf("healthy-path router adds allocations: cluster %.2f/op vs direct %.2f/op",
+			clusterAllocs, directAllocs)
+	}
+}
+
+// BenchmarkClusterFailover measures the router's read path: straight to a
+// brick, through a healthy cluster, and through a cluster with one brick
+// down (every read routed around the Open breaker).
+func BenchmarkClusterFailover(b *testing.B) {
+	nop := func(core.Result) {}
+	b.Run("direct", func(b *testing.B) {
+		sim, cl := benchCluster(b)
+		direct := cl.Brick(0)
+		for i := int64(0); i < 100; i++ {
+			runOne(b, sim, direct, (i*37)%(direct.DataSectors()-8), nop)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var off int64
+		for i := 0; i < b.N; i++ {
+			runOne(b, sim, direct, off, nop)
+			off = (off + 37) % (direct.DataSectors() - 8)
+		}
+	})
+	b.Run("healthy", func(b *testing.B) {
+		sim, cl := benchCluster(b)
+		for i := int64(0); i < 100; i++ {
+			runOne(b, sim, cl, (i*37)%(cl.DataSectors()-8), nop)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var off int64
+		for i := 0; i < b.N; i++ {
+			runOne(b, sim, cl, off, nop)
+			off = (off + 37) % (cl.DataSectors() - 8)
+		}
+	})
+	b.Run("outage", func(b *testing.B) {
+		sim, cl := benchCluster(b)
+		sim.At(sim.Now(), func() { _ = cl.CrashBrick(1) })
+		sim.Run()
+		// Warm until the breaker is Open and the probe budget is spent, so
+		// the steady state is pure routed-around reads.
+		for i := int64(0); i < 200; i++ {
+			runOne(b, sim, cl, (i*37)%(cl.DataSectors()-8), nop)
+		}
+		if cl.State(1) != Open {
+			b.Fatal("brick 1 breaker not open at steady state")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var off int64
+		for i := 0; i < b.N; i++ {
+			runOne(b, sim, cl, off, nop)
+			off = (off + 37) % (cl.DataSectors() - 8)
+		}
+	})
+}

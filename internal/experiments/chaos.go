@@ -341,6 +341,9 @@ func defaultChaosSpec(c Config) (chaosSpec, error) {
 	if err != nil {
 		return chaosSpec{}, err
 	}
+	if err := sc.Validate(bricks, cfg.Disks()); err != nil {
+		return chaosSpec{}, err
+	}
 	return chaosSpec{
 		bricks: bricks, cfg: cfg,
 		ios: c.IometerIOs * 2, outstanding: 32, sectors: 8, readFrac: 0.5,

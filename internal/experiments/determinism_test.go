@@ -71,6 +71,13 @@ func TestParallelMatchesSequential(t *testing.T) {
 			}
 			return f.Render(), nil
 		}},
+		{"brick-loss", func() (string, error) {
+			f, err := BrickLoss(cfg)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
 	}
 	for _, c := range cases {
 		c := c

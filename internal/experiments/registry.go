@@ -66,6 +66,7 @@ var Registry = map[string]Runner{
 	"scrub":                  figRunner(Scrub),
 	"service":                figRunner(Service),
 	"slo-chaos":              figRunner(SLOChaos),
+	"brick-loss":             figRunner(BrickLoss),
 }
 
 func figRunner(f func(Config) (*Figure, error)) Runner {

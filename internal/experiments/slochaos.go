@@ -225,6 +225,9 @@ func defaultSLOGatewaySpec(c Config) (sloGatewaySpec, error) {
 	if err != nil {
 		return sloGatewaySpec{}, err
 	}
+	if err := sc.Validate(1, cfg.Disks()); err != nil {
+		return sloGatewaySpec{}, err
+	}
 	var targets, met [slo.NumTiers]des.Time
 	targets[slo.Premium] = 15 * des.Millisecond
 	targets[slo.Standard] = 40 * des.Millisecond
@@ -552,6 +555,9 @@ func defaultSLOClusterSpec(c Config, on bool) (sloClusterSpec, error) {
 		SlowFactor: 8, ScrubMBps: 128,
 	})
 	if err != nil {
+		return sloClusterSpec{}, err
+	}
+	if err := sc.Validate(bricks, cfg.Disks()); err != nil {
 		return sloClusterSpec{}, err
 	}
 	var targets, tierSLO [slo.NumTiers]des.Time

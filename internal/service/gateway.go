@@ -329,6 +329,7 @@ func (g *Gateway) admit(batch []*call) {
 		ops[i] = core.BatchOp{Op: c.req.Op, Off: c.req.Off, Count: c.req.Count, Done: func(r core.Result) {
 			g.cfg.SLO.Observe(r.Done, c.req.Tenant, r.Done-r.Submit, r.Failed)
 			status, errText := StatusOK, ""
+			var retryAfter des.Time
 			if r.Failed {
 				status = statusOf(r.Err)
 				if status == StatusBadRequest {
@@ -336,11 +337,17 @@ func (g *Gateway) admit(batch []*call) {
 					// caller's.
 					status = StatusFailed
 				}
+				if status == StatusUnavailable {
+					// The outage that failed this request is the kind a
+					// probe cycle can heal: tell the client when to retry,
+					// same contract as the 429 path.
+					retryAfter = g.cfg.Limits.unavailableRetryAfter()
+				}
 				if r.Err != nil {
 					errText = r.Err.Error()
 				}
 			}
-			g.complete(c, Response{Status: status, Err: errText, Submit: r.Submit, Done: r.Done})
+			g.complete(c, Response{Status: status, Err: errText, Submit: r.Submit, Done: r.Done, RetryAfter: retryAfter})
 		}}
 		g.outstanding[c] = struct{}{}
 	}
@@ -355,6 +362,13 @@ func (g *Gateway) admit(batch []*call) {
 		if errors.Is(e, core.ErrOverload) {
 			c.overload = true
 			resp.RetryAfter = g.cfg.Limits.overloadRetryAfter()
+		}
+		if resp.Status == StatusUnavailable {
+			// A crashed-volume rejection is retryable once a replica comes
+			// back; hint like the 429 path does. (A cluster-backed volume
+			// only rejects this way when every replica is down — partial
+			// outages fail over inside the cluster and never surface here.)
+			resp.RetryAfter = g.cfg.Limits.unavailableRetryAfter()
 		}
 		if resp.Status == StatusUnavailable || resp.Status == StatusFailed {
 			// 5xx-class synchronous rejections (a crashed array) are SLO

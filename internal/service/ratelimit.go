@@ -24,6 +24,13 @@ type Limits struct {
 	// own from the refill rate). Zero means 2ms — roughly an array-queue
 	// drain time at the reference drive's service rates.
 	OverloadRetryAfter des.Time
+	// UnavailableRetryAfter is the virtual Retry-After attached to 503s
+	// caused by the volume rejecting with ErrCrashed (every replica of
+	// the requested range down). Zero means 5ms — the order of a
+	// circuit-breaker probe cycle, the earliest a retry could find a
+	// replica back. Gateway-closed 503s carry no hint: the service is
+	// going away, not recovering.
+	UnavailableRetryAfter des.Time
 }
 
 func (l Limits) forTenant(t string) TenantLimit {
@@ -38,6 +45,13 @@ func (l Limits) overloadRetryAfter() des.Time {
 		return l.OverloadRetryAfter
 	}
 	return 2 * des.Millisecond
+}
+
+func (l Limits) unavailableRetryAfter() des.Time {
+	if l.UnavailableRetryAfter > 0 {
+		return l.UnavailableRetryAfter
+	}
+	return 5 * des.Millisecond
 }
 
 // bucket is one tenant's token state. Buckets refill as a pure function

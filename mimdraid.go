@@ -20,6 +20,7 @@
 package mimdraid
 
 import (
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/disk"
@@ -392,4 +393,46 @@ func Recommend(spec DiskSpec, d int, w Workload) (Config, error) {
 func PredictLatency(spec DiskSpec, cfg Config, w Workload) Time {
 	md := model.Disk{S: spec.MaxSeek, R: des.Time(60e6 / spec.RPM)}
 	return model.LatencyInt(md, cfg.Ds, cfg.Dr*cfg.Dm, w.P, w.Q, w.L)
+}
+
+// ClusterVolume is a replicated volume over N brick arrays: extents placed
+// on R distinct bricks by weighted rendezvous hashing, read failover and
+// hedging behind per-brick circuit breakers, quorum writes with a
+// divergence log, and paced backfill/re-replication. It implements Volume,
+// so everything that fronts an Array (the service gateway included) fronts
+// a cluster unchanged.
+type ClusterVolume = cluster.Cluster
+
+// ClusterOptions configures a ClusterVolume (replication factor, extent
+// size, breaker thresholds, backfill pacing).
+type ClusterOptions = cluster.Options
+
+// ClusterCounters is the router's own accounting: failovers, breaker
+// trips, probes, and the divergence ledger, which reconciles exactly
+// (Diverged == Backfilled + Abandoned) once the cluster drains.
+type ClusterCounters = cluster.Counters
+
+// BrickHealth is a brick's circuit-breaker state.
+type BrickHealth = cluster.Health
+
+// Breaker states: a Healthy brick routes normally, a Suspect brick is
+// deprioritized and hedged, an Open brick receives no traffic while
+// half-open probes test it.
+const (
+	BrickHealthy = cluster.Healthy
+	BrickSuspect = cluster.Suspect
+	BrickOpen    = cluster.Open
+)
+
+// NewCluster builds a colocated replicated volume: the router and every
+// brick share sim.
+func NewCluster(sim *Sim, bricks []Volume, opts ClusterOptions) (*ClusterVolume, error) {
+	return cluster.New(sim, bricks, opts)
+}
+
+// NewShardedCluster builds a cluster over a ShardedSim: the router on
+// shard 0, brick b on shard 1+b, every crossing paying linkLat (which must
+// be at least the engine's lookahead).
+func NewShardedCluster(sims []*Sim, send func(from, to int, at Time, fn func()), linkLat Time, bricks []Volume, opts ClusterOptions) (*ClusterVolume, error) {
+	return cluster.NewSharded(sims, send, linkLat, bricks, opts)
 }

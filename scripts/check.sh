@@ -19,6 +19,15 @@ go test -race -count=2 -run 'TestScrub|TestCorruption|TestSilent|TestLatent|Test
 # catch order-dependent residue.
 go test -race -count=2 -run 'TestCrash|TestBatteryHorizon|TestScheduledCrash|TestBatchThenCrash|TestRepeatedCrash' ./internal/core
 go test -race -count=2 -run 'TestChaos' ./internal/chaos ./internal/experiments
+# Cluster volume: the replicated-router suite (failover, breaker,
+# divergence/backfill reconciliation, DeclareDead, zero-alloc guard)
+# twice under the race detector, the cluster-backed gateway tests, and
+# the brick-loss experiment smoke (digest-checked internally across
+# 1/2/4 epoch workers; R=2 must absorb the outage with zero client
+# errors).
+go test -race -count=2 ./internal/cluster
+go test -race -count=2 -run 'TestRealTimeCluster|TestUnavailableRetryAfter|TestScenarioValidate' ./internal/service ./internal/chaos
+go run ./cmd/mimdraid -exp brick-loss -iometer-ios 300 > /dev/null
 # Service front-end: the gateway determinism digest under the race
 # detector, then the mimdserve smoke (two identical loads through the
 # full HTTP stack must produce byte-identical digests) — once plain and
